@@ -1,0 +1,13 @@
+//! # scout-baselines
+//!
+//! The prefetching baselines SCOUT is evaluated against (§2, §3.3):
+//! trajectory extrapolation (straight line, polynomial, velocity, EWMA) and
+//! static methods (Hilbert-Prefetch, Layered). The no-prefetching baseline
+//! lives in `scout_sim::NoPrefetch`.
+
+pub mod common;
+pub mod extrapolation;
+pub mod static_methods;
+
+pub use extrapolation::{Ewma, Polynomial, StraightLine, Velocity};
+pub use static_methods::{HilbertPrefetch, Layered};

@@ -1,0 +1,52 @@
+//! Ablation — the §5.2 prefetching strategies.
+//!
+//! Deep (one random candidate, full budget) vs Broad (all candidates,
+//! plausibility-ordered) vs BroadEqual (§5.2.2 verbatim equal split), on
+//! two representative microbenchmarks. Also sweeps the location limit `d`
+//! that triggers k-means clustering.
+
+use scout_bench::{neuron_dataset, sequences};
+use scout_core::{Scout, ScoutConfig, Strategy};
+use scout_sim::report::{pct, speedup, Table};
+use scout_sim::workloads::{ADHOC_PATTERN, MODEL_BUILDING};
+use scout_sim::{evaluate, region_lists, ExecutorConfig, TestBed};
+use scout_synth::generate_sequences;
+
+fn main() {
+    println!("== Ablation: deep vs broad prefetching (§5.2) ==\n");
+    let bed = TestBed::new(neuron_dataset());
+    let n_seq = sequences(10);
+
+    for bench in [ADHOC_PATTERN, MODEL_BUILDING] {
+        let seqs = generate_sequences(&bed.dataset, &bench.sequence, n_seq, 0xAB1);
+        let regions = region_lists(&seqs);
+        let exec = ExecutorConfig { window_ratio: bench.window_ratio, ..Default::default() };
+        let mut t = Table::new(["Strategy", "Hit Rate [%]", "Speedup"]);
+        for (label, strategy) in [
+            ("Deep (random single candidate)", Strategy::Deep),
+            ("Broad (plausibility-ordered)", Strategy::Broad),
+            ("Broad (equal split, §5.2.2)", Strategy::BroadEqual),
+        ] {
+            let mut scout =
+                Scout::new(ScoutConfig { strategy, ..ScoutConfig::default() });
+            let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec);
+            t.row([label.to_string(), pct(m.hit_rate), speedup(m.speedup)]);
+        }
+        println!("-- {} --\n{}", bench.label, t.render());
+    }
+
+    // Location limit d (k-means trigger).
+    let seqs = generate_sequences(&bed.dataset, &ADHOC_PATTERN.sequence, n_seq, 0xAB2);
+    let regions = region_lists(&seqs);
+    let exec = ExecutorConfig { window_ratio: ADHOC_PATTERN.window_ratio, ..Default::default() };
+    let mut t = Table::new(["Max Locations d", "Hit Rate [%]"]);
+    for d in [1usize, 2, 4, 8, 16] {
+        let mut scout = Scout::new(ScoutConfig {
+            max_prefetch_locations: d,
+            ..ScoutConfig::default()
+        });
+        let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec);
+        t.row([d.to_string(), pct(m.hit_rate)]);
+    }
+    println!("-- location limit (k-means clustering of exits) --\n{}", t.render());
+}

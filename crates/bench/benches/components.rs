@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the core components: STR bulk loading,
+//! R-tree range queries, FLAT crawls, grid-hash graph building, connected
+//! components, k-means, and the Hilbert curve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scout_core::kmeans::kmeans;
+use scout_core::ResultGraph;
+use scout_geometry::hilbert::hilbert_index_3d;
+use scout_geometry::{Aspect, QueryRegion, Simplification, Vec3};
+use scout_index::{str_pack, FlatConfig, FlatIndex, OrderedSpatialIndex, RTree, SpatialIndex};
+use scout_synth::{generate_neurons, NeuronParams};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let dataset = generate_neurons(&NeuronParams::with_target_objects(60_000), 42);
+    let objects = &dataset.objects;
+    let rtree = RTree::bulk_load_with_capacity(objects, 87);
+    let flat = FlatIndex::bulk_load_with(objects, 87, FlatConfig::default());
+    let center = dataset.bounds.center();
+    let region = QueryRegion::new(center, 80_000.0, Aspect::Cube);
+    let result = rtree.range_query(objects, &region);
+
+    c.bench_function("str_pack_60k", |b| {
+        b.iter(|| black_box(str_pack(objects, 87).page_count()))
+    });
+
+    c.bench_function("rtree_bulk_load_60k", |b| {
+        b.iter(|| black_box(RTree::bulk_load_with_capacity(objects, 87).height()))
+    });
+
+    c.bench_function("rtree_range_query_80k_um3", |b| {
+        b.iter(|| black_box(rtree.range_query(objects, &region).objects.len()))
+    });
+
+    c.bench_function("flat_crawl_80k_um3", |b| {
+        b.iter(|| black_box(flat.crawl_region(region.aabb(), center).len()))
+    });
+
+    c.bench_function("grid_hash_graph_build", |b| {
+        b.iter(|| {
+            let (g, _) = ResultGraph::grid_hash(
+                objects,
+                &result.objects,
+                &region,
+                32_768,
+                Simplification::Segment,
+            );
+            black_box(g.edge_count())
+        })
+    });
+
+    c.bench_function("connected_components", |b| {
+        let (g, _) = ResultGraph::grid_hash(
+            objects,
+            &result.objects,
+            &region,
+            32_768,
+            Simplification::Segment,
+        );
+        b.iter(|| black_box(g.components().1))
+    });
+
+    c.bench_function("kmeans_200_points_k8", |b| {
+        let points: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new((f * 17.3) % 100.0, (f * 31.7) % 100.0, (f * 7.9) % 100.0)
+            })
+            .collect();
+        b.iter_batched(
+            || points.clone(),
+            |p| black_box(kmeans(&p, 8, 7, 12).len()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("hilbert_index_3d_order16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..64u32 {
+                acc ^= hilbert_index_3d([i * 991, i * 577, i * 131], 16);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 11 — accuracy (a) and speedup (b) of all approaches on the five
+//! gap-free microbenchmarks of Figure 10, plus the Figure 10 parameter
+//! table itself.
+//!
+//! Paper reference: SCOUT 71–92 % (best on model building / visualization,
+//! lower on ad-hoc), baselines ≤ 45 %; speedups 4–15× for SCOUT.
+
+use scout_bench::{figure11_roster, neuron_dataset, run_roster, sequences};
+use scout_sim::report::{pct, speedup, Table};
+use scout_sim::workloads::figure11_benchmarks;
+use scout_sim::TestBed;
+
+fn main() {
+    println!("== Figure 10: microbenchmark parameters ==\n");
+    let mut params = Table::new([
+        "Benchmark",
+        "Queries",
+        "Volume [µm³]",
+        "Aspect",
+        "Gap [µm]",
+        "Window [ratio]",
+    ]);
+    for b in scout_sim::workloads::all_benchmarks() {
+        params.row([
+            b.label.to_string(),
+            b.sequence.length.to_string(),
+            format!("{}K", b.sequence.volume / 1000.0),
+            format!("{:?}", b.sequence.aspect),
+            format!("{}", b.sequence.gap),
+            format!("{}", b.window_ratio),
+        ]);
+    }
+    println!("{}", params.render());
+
+    let bed = TestBed::new(neuron_dataset());
+    let n_seq = sequences(12);
+
+    let names: Vec<String> = figure11_roster().iter().map(|p| p.name()).collect();
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(names.clone());
+    let mut acc = Table::new(header.clone());
+    let mut spd = Table::new(header);
+
+    for bench in figure11_benchmarks() {
+        let mut roster = figure11_roster();
+        let results =
+            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF16_11);
+        let mut acc_row = vec![bench.label.to_string()];
+        acc_row.extend(results.iter().map(|m| pct(m.hit_rate)));
+        acc.row(acc_row);
+        let mut spd_row = vec![bench.label.to_string()];
+        spd_row.extend(results.iter().map(|m| speedup(m.speedup)));
+        spd.row(spd_row);
+    }
+
+    println!("== Figure 11(a): cache hit rate [%] ==\n");
+    println!("{}", acc.render());
+    println!("== Figure 11(b): speedup vs no prefetching ==\n");
+    println!("{}", spd.render());
+    println!("(paper: SCOUT 71–92 % and 4–15x, best on model building and visualization)");
+}

@@ -1,0 +1,44 @@
+//! Figure 12 — accuracy and speedup on the visualization-with-gaps
+//! microbenchmarks (25 µm gaps), including SCOUT-OPT.
+//!
+//! Paper reference: SCOUT only slightly more accurate than trajectory
+//! extrapolation (it must fall back to linear extrapolation across the
+//! gap); SCOUT-OPT clearly best thanks to gap traversal; speedups ≤ 3.5×.
+
+use scout_bench::{figure11_roster, neuron_dataset, run_roster, scout_opt, sequences};
+use scout_sim::report::{pct, speedup, Table};
+use scout_sim::workloads::figure12_benchmarks;
+use scout_sim::TestBed;
+
+fn main() {
+    println!("== Figure 12: benchmarks with gaps between queries ==\n");
+    let bed = TestBed::new(neuron_dataset());
+    let n_seq = sequences(10);
+
+    let roster_factory = || {
+        let mut r = figure11_roster();
+        r.push(scout_opt());
+        r
+    };
+    let names: Vec<String> = roster_factory().iter().map(|p| p.name()).collect();
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(names);
+    let mut acc = Table::new(header.clone());
+    let mut spd = Table::new(header);
+
+    for bench in figure12_benchmarks() {
+        let mut roster = roster_factory();
+        let results =
+            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF16_12);
+        let mut acc_row = vec![bench.label.to_string()];
+        acc_row.extend(results.iter().map(|m| pct(m.hit_rate)));
+        acc.row(acc_row);
+        let mut spd_row = vec![bench.label.to_string()];
+        spd_row.extend(results.iter().map(|m| speedup(m.speedup)));
+        spd.row(spd_row);
+    }
+
+    println!("-- cache hit rate [%] --\n{}", acc.render());
+    println!("-- speedup vs no prefetching --\n{}", spd.render());
+    println!("(paper: SCOUT-OPT clearly ahead via gap traversal; speedups up to ~3.5x)");
+}

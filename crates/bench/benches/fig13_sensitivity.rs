@@ -1,0 +1,112 @@
+//! Figure 13 — sensitivity analysis of SCOUT's prediction accuracy.
+//!
+//! Six panels, each sweeping one parameter of the default workload
+//! (25-query sequences of 80 000 µm³ cubes, window ratio 1):
+//! (a) query volume, (b) dataset density, (c) sequence length,
+//! (d) prefetch-window ratio, (e) grid resolution, (f) gap distance
+//! (SCOUT vs SCOUT-OPT).
+//!
+//! Paper reference shapes: (a) falls with volume; (b) flat ≈ 80 %;
+//! (c) rises to ≈ 93 %; (d) rises 29 → 88 % with the ratio; (e) fine
+//! resolutions equivalent, collapse below 512 cells; (f) falls with gap,
+//! SCOUT-OPT well above SCOUT.
+
+use scout_bench::{dataset_scale, neuron_dataset, neuron_dataset_with_objects, sequences};
+use scout_core::{Scout, ScoutConfig, ScoutOpt};
+use scout_sim::report::{pct, Table};
+use scout_sim::{evaluate, region_lists, ExecutorConfig, TestBed};
+use scout_synth::{generate_sequences, SequenceParams};
+
+fn eval_scout(
+    bed: &TestBed,
+    config: ScoutConfig,
+    params: &SequenceParams,
+    n_seq: usize,
+    window_ratio: f64,
+    seed: u64,
+) -> f64 {
+    let seqs = generate_sequences(&bed.dataset, params, n_seq, seed);
+    let regions = region_lists(&seqs);
+    let exec = ExecutorConfig { window_ratio, ..ExecutorConfig::default() };
+    let mut scout = Scout::new(config);
+    evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec).hit_rate
+}
+
+fn main() {
+    let n_seq = sequences(10);
+    let base = SequenceParams::sensitivity_default();
+    println!("== Figure 13: sensitivity analysis of prediction accuracy ==\n");
+
+    // (a) Query volume 10k..185k step 35k.
+    {
+        let bed = TestBed::new(neuron_dataset());
+        let mut t = Table::new(["Query Volume [µm³]", "SCOUT Hit Rate [%]"]);
+        for k in 0..6 {
+            let volume = 10_000.0 + 35_000.0 * k as f64;
+            let params = SequenceParams { volume, ..base };
+            let hr = eval_scout(&bed, ScoutConfig::default(), &params, n_seq, 1.0, 0xA13);
+            t.row([format!("{}k", volume / 1000.0), pct(hr)]);
+        }
+        println!("-- (a) query volume (paper: gradual drop) --\n{}", t.render());
+
+        // (c) Sequence length 5..55 step 10 (same dataset).
+        let mut t = Table::new(["Sequence Length", "SCOUT Hit Rate [%]"]);
+        for len in (5..=55).step_by(10) {
+            let params = SequenceParams { length: len, ..base };
+            let hr = eval_scout(&bed, ScoutConfig::default(), &params, n_seq, 1.0, 0xC13);
+            t.row([len.to_string(), pct(hr)]);
+        }
+        println!("-- (c) sequence length (paper: rises to ~93 %) --\n{}", t.render());
+
+        // (d) Prefetch window ratio 0.1..2.5.
+        let mut t = Table::new(["Window Ratio", "SCOUT Hit Rate [%]"]);
+        for r in [0.1, 0.7, 1.3, 1.9, 2.5] {
+            let hr = eval_scout(&bed, ScoutConfig::default(), &base, n_seq, r, 0xD13);
+            t.row([format!("{r}"), pct(hr)]);
+        }
+        println!("-- (d) prefetch window ratio (paper: 29 % -> 88 %) --\n{}", t.render());
+
+        // (e) Grid resolution 32768..8.
+        let mut t = Table::new(["Grid Resolution [# cells]", "SCOUT Hit Rate [%]"]);
+        for res in [32_768u32, 4_096, 512, 64, 8] {
+            let config = ScoutConfig { grid_resolution: res, ..ScoutConfig::default() };
+            let hr = eval_scout(&bed, config, &base, n_seq, 1.0, 0xE13);
+            t.row([res.to_string(), pct(hr)]);
+        }
+        println!(
+            "-- (e) grid resolution (paper: fine ≈ equal, collapses below 512) --\n{}",
+            t.render()
+        );
+
+        // (f) Gap distance 10..25, SCOUT vs SCOUT-OPT.
+        let mut t = Table::new(["Gap [µm]", "SCOUT [%]", "SCOUT-OPT [%]"]);
+        for gap in [10.0, 15.0, 20.0, 25.0] {
+            let params = SequenceParams { gap, volume: 30_000.0, ..base };
+            let seqs = generate_sequences(&bed.dataset, &params, n_seq, 0xF13);
+            let regions = region_lists(&seqs);
+            let exec = ExecutorConfig::default();
+            let mut scout = Scout::with_defaults();
+            let s = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec).hit_rate;
+            let mut opt = ScoutOpt::with_defaults();
+            let o = evaluate(&bed.ctx_flat(), &mut opt, &regions, &exec).hit_rate;
+            t.row([format!("{gap}"), pct(s), pct(o)]);
+        }
+        println!(
+            "-- (f) gap distance (paper: both fall, SCOUT-OPT well above) --\n{}",
+            t.render()
+        );
+    }
+
+    // (b) Dataset density: 50..450 (thousand objects, the paper's
+    // 50M..450M scaled by 1000, DESIGN.md §2).
+    {
+        let mut t = Table::new(["Objects [x1000]", "SCOUT Hit Rate [%]"]);
+        for objs in [50_000, 150_000, 250_000, 350_000, 450_000] {
+            let target = ((objs as f64) * dataset_scale() * 2.889) as usize; // scale to default-density ratio
+            let bed = TestBed::new(neuron_dataset_with_objects(target));
+            let hr = eval_scout(&bed, ScoutConfig::default(), &base, n_seq, 1.0, 0xB13);
+            t.row([format!("{}", objs / 1000), pct(hr)]);
+        }
+        println!("-- (b) dataset density (paper: flat ≈ 80 %) --\n{}", t.render());
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 14 — query response time breakdown vs dataset density.
+//!
+//! Splits SCOUT's per-sequence time into graph building, prediction
+//! (traversal) and residual I/O while the density grows.
+//!
+//! Paper reference: graph building stays ≈ 15 % of the total, prediction
+//! ≤ 6 %, no relative growth with density.
+
+use scout_bench::{dataset_scale, neuron_dataset_with_objects, sequences};
+use scout_core::Scout;
+use scout_sim::report::Table;
+use scout_sim::{region_lists, run_sequences, ExecutorConfig, TestBed};
+use scout_synth::{generate_sequences, SequenceParams};
+
+fn main() {
+    println!("== Figure 14: SCOUT response-time breakdown vs density ==\n");
+    let n_seq = sequences(8);
+    let params = SequenceParams::sensitivity_default();
+    let mut t = Table::new([
+        "Objects [x1000]",
+        "Graph Build [s]",
+        "Prediction [s]",
+        "Residual I/O [s]",
+        "Graph [%]",
+        "Prediction [%]",
+    ]);
+    for objs in [50_000usize, 150_000, 250_000, 350_000, 450_000] {
+        let target = ((objs as f64) * dataset_scale() * 2.889) as usize;
+        let bed = TestBed::new(neuron_dataset_with_objects(target));
+        let seqs = generate_sequences(&bed.dataset, &params, n_seq, 0xF14);
+        let regions = region_lists(&seqs);
+        let mut scout = Scout::with_defaults();
+        let traces =
+            run_sequences(&bed.ctx_rtree(), &mut scout, &regions, &ExecutorConfig::default());
+        let graph: f64 = traces.iter().map(|t| t.total_graph_build_us()).sum::<f64>() / 1e6;
+        let pred: f64 = traces.iter().map(|t| t.total_prediction_us()).sum::<f64>() / 1e6;
+        let residual: f64 = traces.iter().map(|t| t.total_response_us()).sum::<f64>() / 1e6;
+        let total = graph + pred + residual;
+        t.row([
+            format!("{}", objs / 1000),
+            format!("{graph:.2}"),
+            format!("{pred:.2}"),
+            format!("{residual:.2}"),
+            format!("{:.1}", 100.0 * graph / total),
+            format!("{:.1}", 100.0 * pred / total),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper: graph building ≈ 15 % of response time, prediction ≤ 6 %, flat in density)");
+}

@@ -1,0 +1,141 @@
+//! Quick end-to-end smoke run: one microbenchmark, full roster, small
+//! scale. Used to sanity-check the pipeline and calibrate the cost model.
+//!
+//! Run with: `cargo run -p scout-bench --bin smoke --release`
+
+use scout_bench::{figure11_roster, run_roster};
+use scout_index::SpatialIndex;
+use scout_sim::report::{pct, speedup, Table};
+use scout_sim::TestBed;
+use scout_synth::{generate_neurons, NeuronParams};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let dataset = generate_neurons(&NeuronParams::with_target_objects(1_300_000), 42);
+    eprintln!(
+        "dataset: {} objects in {:.0?} (density {:.2e}/µm³)",
+        dataset.len(),
+        t0.elapsed(),
+        dataset.density()
+    );
+    let t1 = Instant::now();
+    let bed = TestBed::new(dataset);
+    eprintln!(
+        "indexes: {} pages in {:.0?}",
+        bed.rtree.layout().page_count(),
+        t1.elapsed()
+    );
+
+    let bench = scout_sim::workloads::ADHOC_PATTERN;
+    let t2 = Instant::now();
+    let mut roster = figure11_roster();
+    roster.push(scout_bench::no_prefetch());
+    roster.push(Box::new(scout_core::Scout::new(scout_core::ScoutConfig {
+        max_prefetch_locations: 3,
+        incremental_steps: 3,
+        ..Default::default()
+    })));
+    roster.push(Box::new(scout_core::Scout::new(scout_core::ScoutConfig {
+        max_prefetch_locations: 1,
+        incremental_steps: 4,
+        ..Default::default()
+    })));
+    let results = run_roster(&bed, &mut roster, &bench.sequence, 8, bench.window_ratio, 7);
+    eprintln!("evaluation in {:.0?}", t2.elapsed());
+
+    // Workload shape diagnostics.
+    {
+        use scout_sim::{run_sequence, ExecutorConfig, NoPrefetch};
+        let seqs = scout_synth::generate_sequences(
+            &bed.dataset,
+            &bench.sequence,
+            2,
+            7,
+        );
+        let ctx = bed.ctx_rtree();
+        let mut np = NoPrefetch;
+        let trace = run_sequence(&ctx, &mut np, &seqs[0].regions, &ExecutorConfig::default());
+        let pages: f64 = trace.queries.iter().map(|q| q.pages_total as f64).sum::<f64>()
+            / trace.queries.len() as f64;
+        let objs: f64 = trace.queries.iter().map(|q| q.result_objects as f64).sum::<f64>()
+            / trace.queries.len() as f64;
+        eprintln!("avg result pages/query: {pages:.1}, objects/query: {objs:.1}");
+        // SCOUT candidate-set trajectory within one sequence.
+        let mut scout = scout_core::Scout::with_defaults();
+        let strace = run_sequence(&ctx, &mut scout, &seqs[0].regions, &ExecutorConfig::default());
+        let cands: Vec<usize> = strace.queries.iter().map(|q| q.prediction.candidates).collect();
+        let comps: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_components).collect();
+        eprintln!("SCOUT components/query: {comps:?}");
+        let verts: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_vertices).collect();
+        let edges: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_edges).collect();
+        let hits: Vec<String> = strace.queries.iter().map(|q| format!("{:.0}", q.hit_rate()*100.0)).collect();
+        eprintln!("SCOUT candidates/query: {cands:?}");
+        eprintln!("SCOUT vertices[0..5]: {:?} edges[0..5]: {:?}", &verts[..5], &edges[..5]);
+        eprintln!("SCOUT per-query hit%: {hits:?}");
+        // Prediction-error comparison: distance from the true next center
+        // to SCOUT's best planned full-size region center vs straight line.
+        {
+            use scout_sim::{PrefetchRequest, Prefetcher};
+            let regions = &seqs[0].regions;
+            let mut scout = scout_core::Scout::with_defaults();
+            scout.reset();
+            let mut scout_err = Vec::new();
+            let mut sl_err = Vec::new();
+            for i in 0..regions.len() - 1 {
+                let result = ctx.index.range_query(ctx.objects, &regions[i]);
+                scout.observe(&ctx, &regions[i], &result);
+                let plan = scout.plan(&ctx);
+                let truth = regions[i + 1].center();
+                let best = plan
+                    .requests
+                    .iter()
+                    .filter_map(|r| match r {
+                        PrefetchRequest::Region(q) => Some(q.center().distance(truth)),
+                        _ => None,
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if best.is_finite() {
+                    scout_err.push(best);
+                }
+                if i >= 1 {
+                    let pred = regions[i].center() * 2.0 - regions[i - 1].center();
+                    sl_err.push(pred.distance(truth));
+                }
+            }
+            let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            eprintln!(
+                "prediction error (µm, query side {:.1}): SCOUT best-region {:.1}, straight-line {:.1}",
+                regions[0].side(), mean(&scout_err), mean(&sl_err)
+            );
+            // Error of the TOP-RANKED location's final (full-size) region.
+            let mut scout2 = scout_core::Scout::with_defaults();
+            scout2.reset();
+            let steps = scout2.config().incremental_steps;
+            let mut top_err = Vec::new();
+            for i in 0..regions.len() - 1 {
+                let result = ctx.index.range_query(ctx.objects, &regions[i]);
+                scout2.observe(&ctx, &regions[i], &result);
+                let plan = scout2.plan(&ctx);
+                let truth = regions[i + 1].center();
+                if plan.requests.len() >= steps {
+                    if let PrefetchRequest::Region(q) = &plan.requests[steps - 1] {
+                        top_err.push(q.center().distance(truth));
+                    }
+                }
+            }
+            eprintln!("top-ranked location error: {:.1} µm (n={})", mean(&top_err), top_err.len());
+        }
+    }
+
+    let mut table = Table::new(["Prefetcher", "Hit Rate [%]", "Speedup", "Prefetch Pages"]);
+    for m in &results {
+        table.row([
+            m.name.clone(),
+            pct(m.hit_rate),
+            speedup(m.speedup),
+            m.prefetch_pages.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,35 @@
+//! Gap-workload smoke run (Figure 12 path): SCOUT vs SCOUT-OPT with
+//! 25 µm gaps between queries.
+//!
+//! Run with: `cargo run -p scout-bench --bin smoke_gaps --release`
+
+use scout_baselines::{Ewma, StraightLine};
+use scout_bench::run_roster;
+use scout_core::{Scout, ScoutOpt};
+use scout_sim::report::{pct, speedup, Table};
+use scout_sim::{Prefetcher, TestBed};
+use scout_synth::{generate_neurons, NeuronParams};
+
+fn main() {
+    let dataset = generate_neurons(&NeuronParams::with_target_objects(1_300_000), 42);
+    let bed = TestBed::new(dataset);
+    let bench = scout_sim::workloads::VIS_GAPS_HIGH;
+    let mut roster: Vec<Box<dyn Prefetcher>> = vec![
+        Box::new(Ewma::paper_best()),
+        Box::new(StraightLine::new()),
+        Box::new(Scout::with_defaults()),
+        Box::new(ScoutOpt::with_defaults()),
+    ];
+    let results = run_roster(&bed, &mut roster, &bench.sequence, 6, bench.window_ratio, 7);
+    let mut table = Table::new(["Prefetcher", "Hit Rate [%]", "Speedup", "Prefetch", "Gap Pages"]);
+    for m in &results {
+        table.row([
+            m.name.clone(),
+            pct(m.hit_rate),
+            speedup(m.speedup),
+            m.prefetch_pages.to_string(),
+            m.gap_pages.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

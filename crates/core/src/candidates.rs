@@ -1,0 +1,220 @@
+//! Iterative candidate pruning (§4.3).
+//!
+//! "SCOUT inspects the two recent query results to identify the set of
+//! structures x that exit the (n−1)th query and the set of structures e
+//! that enter the nth query. The intersection … is the candidate set. …
+//! In case of a reset … the candidate set again contains all spatial
+//! structures from the last range query result."
+//!
+//! Continuity between consecutive results is established two ways:
+//! - **shared exit objects** — a structure that exits query *n−1* toward
+//!   the user's movement does so through boundary-crossing objects, and
+//!   those same objects lie inside the adjacent query *n*; a component of
+//!   query *n* continues a candidate iff it contains one of the previous
+//!   candidates' (forward) exit objects. Merely sharing interior objects
+//!   is not enough — in dense tissue every structure in the overlap slab
+//!   would "continue", and the candidate set would never shrink;
+//! - **predicted-location proximity** — with gaps there are no shared
+//!   objects, so a component continues a candidate iff it has an object
+//!   near one of the previous query's extrapolated exit locations.
+
+use crate::graph::ResultGraph;
+use scout_geometry::{ObjectId, SpatialObject, Vec3};
+use std::collections::HashSet;
+
+/// Cross-query candidate state.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateTracker {
+    /// Forward exit objects of the previous query's candidate components.
+    prev_exit_ids: HashSet<ObjectId>,
+    /// Predicted next-query locations from the previous query's exits.
+    prev_predictions: Vec<Vec3>,
+    /// Number of resets observed (diagnostics).
+    resets: usize,
+}
+
+/// Result of matching the new graph against the previous candidates.
+#[derive(Debug, Clone)]
+pub struct Continuation {
+    /// Components of the new graph that continue previous candidates
+    /// (empty ⇒ the caller must reset per §4.3).
+    pub components: HashSet<u32>,
+    /// Pruning work performed (vertex/prediction comparisons).
+    pub steps: u64,
+}
+
+impl CandidateTracker {
+    /// Fresh tracker (start of a sequence).
+    pub fn new() -> CandidateTracker {
+        CandidateTracker::default()
+    }
+
+    /// True before any query has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.prev_exit_ids.is_empty() && self.prev_predictions.is_empty()
+    }
+
+    /// Number of resets since the last [`CandidateTracker::clear`].
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+
+    /// The previous query's forward exit objects — where the candidate
+    /// structures crossed into the current query. SCOUT-OPT uses these to
+    /// find the entry pages for sparse graph construction (§6.2).
+    pub fn previous_exit_objects(&self) -> &HashSet<ObjectId> {
+        &self.prev_exit_ids
+    }
+
+    /// The previous query's predicted locations (gap continuity anchors).
+    pub fn previous_predictions(&self) -> &[Vec3] {
+        &self.prev_predictions
+    }
+
+    /// Components of `graph` that continue the previous candidate set.
+    pub fn continuing_components(
+        &self,
+        objects: &[SpatialObject],
+        graph: &ResultGraph,
+        component_of: &[u32],
+        tolerance: f64,
+    ) -> Continuation {
+        let mut set = HashSet::new();
+        let mut steps: u64 = 0;
+        if self.is_empty() {
+            return Continuation { components: set, steps };
+        }
+        // Shared-exit-object continuity.
+        for v in 0..graph.vertex_count() as u32 {
+            steps += 1;
+            if self.prev_exit_ids.contains(&graph.object_id(v)) {
+                set.insert(component_of[v as usize]);
+            }
+        }
+        // Predicted-location proximity (gap continuity).
+        if set.is_empty() && !self.prev_predictions.is_empty() {
+            for v in 0..graph.vertex_count() as u32 {
+                let c = objects[graph.object_id(v).index()].centroid();
+                for p in &self.prev_predictions {
+                    steps += 1;
+                    if c.distance(*p) <= tolerance {
+                        set.insert(component_of[v as usize]);
+                        break;
+                    }
+                }
+            }
+        }
+        Continuation { components: set, steps }
+    }
+
+    /// Commits this query's (forward) exit objects and predictions as the
+    /// reference for the next query.
+    pub fn commit(
+        &mut self,
+        exit_objects: HashSet<ObjectId>,
+        predictions: Vec<Vec3>,
+        was_reset: bool,
+    ) {
+        self.prev_exit_ids = exit_objects;
+        self.prev_predictions = predictions;
+        if was_reset {
+            self.resets += 1;
+        }
+    }
+
+    /// Clears all state (sequence boundary).
+    pub fn clear(&mut self) {
+        self.prev_exit_ids.clear();
+        self.prev_predictions.clear();
+        self.resets = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_geometry::{Aspect, QueryRegion, Segment, Shape, Simplification, StructureId};
+
+    fn seg_object(id: u32, a: Vec3, b: Vec3) -> SpatialObject {
+        SpatialObject::new(ObjectId(id), StructureId(0), Shape::Segment(Segment::new(a, b)))
+    }
+
+    /// Two parallel chains along x; the query sees both.
+    fn fixture() -> (Vec<SpatialObject>, ResultGraph, Vec<u32>) {
+        let mut objects = Vec::new();
+        for i in 0..4u32 {
+            objects.push(seg_object(
+                i,
+                Vec3::new(i as f64 * 2.0, 2.0, 5.0),
+                Vec3::new((i + 1) as f64 * 2.0, 2.0, 5.0),
+            ));
+        }
+        for i in 0..4u32 {
+            objects.push(seg_object(
+                4 + i,
+                Vec3::new(i as f64 * 2.0, 8.0, 5.0),
+                Vec3::new((i + 1) as f64 * 2.0, 8.0, 5.0),
+            ));
+        }
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::new(Vec3::new(5.0, 5.0, 5.0), 1000.0, Aspect::Cube);
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 32_768, Simplification::Segment);
+        let (comp, n) = g.components();
+        assert_eq!(n, 2);
+        (objects, g, comp)
+    }
+
+    #[test]
+    fn empty_tracker_continues_nothing() {
+        let (objects, g, comp) = fixture();
+        let t = CandidateTracker::new();
+        let c = t.continuing_components(&objects, &g, &comp, 1.0);
+        assert!(c.components.is_empty());
+    }
+
+    #[test]
+    fn shared_exit_object_continuity_selects_right_component() {
+        let (objects, g, comp) = fixture();
+        let mut t = CandidateTracker::new();
+        // Previous exit object: object 1 on the lower chain.
+        let lower_comp = comp[g.vertex_of(ObjectId(1)).unwrap() as usize];
+        t.commit([ObjectId(1)].into_iter().collect(), Vec::new(), false);
+        let c = t.continuing_components(&objects, &g, &comp, 1.0);
+        assert_eq!(c.components.len(), 1);
+        assert!(c.components.contains(&lower_comp));
+    }
+
+    #[test]
+    fn proximity_continuity_when_no_shared_objects() {
+        let (objects, g, comp) = fixture();
+        let mut t = CandidateTracker::new();
+        // No shared exit ids but a prediction near the upper chain at y=8.
+        t.commit(HashSet::new(), vec![Vec3::new(3.0, 8.0, 5.0)], false);
+        let c = t.continuing_components(&objects, &g, &comp, 2.0);
+        assert_eq!(c.components.len(), 1);
+        let upper_comp = comp[g.vertex_of(ObjectId(5)).unwrap() as usize];
+        assert!(c.components.contains(&upper_comp));
+    }
+
+    #[test]
+    fn far_prediction_matches_nothing() {
+        let (objects, g, comp) = fixture();
+        let mut t = CandidateTracker::new();
+        t.commit(HashSet::new(), vec![Vec3::new(500.0, 500.0, 500.0)], false);
+        let c = t.continuing_components(&objects, &g, &comp, 2.0);
+        assert!(c.components.is_empty());
+    }
+
+    #[test]
+    fn reset_counter_and_clear() {
+        let (_, _g, _comp) = fixture();
+        let mut t = CandidateTracker::new();
+        t.commit(HashSet::new(), Vec::new(), true);
+        t.commit(HashSet::new(), Vec::new(), true);
+        assert_eq!(t.resets(), 2);
+        t.clear();
+        assert_eq!(t.resets(), 0);
+        assert!(t.is_empty());
+    }
+}

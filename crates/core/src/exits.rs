@@ -1,0 +1,209 @@
+//! Exit detection and linear extrapolation (§4.4).
+//!
+//! After candidate pruning, SCOUT traverses the graph "to find the
+//! locations where the graph exits the query", then "uses the edges exiting
+//! the current query and extrapolates them linearly to predict the
+//! locations of the next queries". (Higher-order extrapolation "do[es] not
+//! yield better results" — §4.4.)
+
+use crate::graph::{ResultGraph, VertexId};
+use scout_geometry::{QueryRegion, Segment, Simplification, SpatialObject, Vec3};
+use std::collections::HashSet;
+
+/// A location where a candidate structure leaves the query region.
+#[derive(Debug, Clone, Copy)]
+pub struct Exit {
+    /// Point on the query boundary.
+    pub point: Vec3,
+    /// Outward unit direction of the structure at the boundary.
+    pub dir: Vec3,
+    /// The boundary-crossing vertex.
+    pub vertex: VertexId,
+    /// Its connected component (candidate structure).
+    pub component: u32,
+}
+
+/// Finds the exit of one object's simplified geometry from the region, if
+/// it crosses the boundary outward.
+pub fn exit_of_object(
+    object: &SpatialObject,
+    region: &QueryRegion,
+    simplification: Simplification,
+) -> Option<(Vec3, Vec3)> {
+    match object.shape.simplified(simplification) {
+        scout_geometry::Simplified::Segment(seg) => exit_of_segment(&seg, region),
+        scout_geometry::Simplified::Point(_) => None, // points cannot cross
+        scout_geometry::Simplified::Box(b) => {
+            // MBR-simplified objects: crossing when intersecting but not
+            // contained; exit at the nearest boundary point to the
+            // centroid, pointing outward.
+            if !region.aabb().intersects(&b) || region.aabb().contains_aabb(&b) {
+                return None;
+            }
+            let c = b.center();
+            let inside = region.aabb().closest_point(c);
+            let dir = (c - inside).normalized()?;
+            Some((inside, dir))
+        }
+    }
+}
+
+/// Exit of a segment, trying both orientations so the outward direction is
+/// always oriented from inside to outside.
+fn exit_of_segment(seg: &Segment, region: &QueryRegion) -> Option<(Vec3, Vec3)> {
+    let a_in = region.aabb().contains_point(seg.a);
+    let b_in = region.aabb().contains_point(seg.b);
+    match (a_in, b_in) {
+        (true, true) => None,
+        (true, false) => region.exit_of_segment(seg),
+        (false, true) => region.exit_of_segment(&Segment::new(seg.b, seg.a)),
+        (false, false) => {
+            // Passes through: report the far-side exit in its own
+            // orientation (rare for result objects).
+            region.exit_of_segment(seg)
+        }
+    }
+}
+
+/// Finds all exits of the given components (or of every component when
+/// `components_filter` is `None`).
+///
+/// Returns the exits plus the number of traversal steps performed — the
+/// DFS over candidate structures whose cost Figure 16 measures.
+///
+/// The outward direction of each exit is smoothed: a single small object
+/// (a 3 µm cylinder) carries a very noisy local direction, so the reported
+/// direction blends the boundary object's own direction with the chord
+/// from the component's interior centroid to the exit point — the course
+/// of the structure *across* the query, which is what linear extrapolation
+/// (§4.4) should continue.
+pub fn find_exits(
+    objects: &[SpatialObject],
+    graph: &ResultGraph,
+    component_of: &[u32],
+    region: &QueryRegion,
+    components_filter: Option<&HashSet<u32>>,
+    simplification: Simplification,
+) -> (Vec<Exit>, u64) {
+    let mut exits = Vec::new();
+    let mut steps: u64 = 0;
+    // Pass 1: per-component interior centroids.
+    let comp_count = component_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut centroid_sum = vec![Vec3::ZERO; comp_count];
+    let mut centroid_n = vec![0u32; comp_count];
+    for v in 0..graph.vertex_count() as VertexId {
+        let comp = component_of[v as usize] as usize;
+        centroid_sum[comp] += objects[graph.object_id(v).index()].centroid();
+        centroid_n[comp] += 1;
+    }
+    // Pass 2: boundary crossings.
+    for v in 0..graph.vertex_count() as VertexId {
+        let comp = component_of[v as usize];
+        if let Some(filter) = components_filter {
+            if !filter.contains(&comp) {
+                continue;
+            }
+        }
+        // Each examined vertex plus its incident edges is traversal work.
+        steps += 1 + graph.neighbors(v).len() as u64;
+        let oid = graph.object_id(v);
+        if let Some((point, local_dir)) =
+            exit_of_object(&objects[oid.index()], region, simplification)
+        {
+            let centroid = centroid_sum[comp as usize] / centroid_n[comp as usize].max(1) as f64;
+            let chord = (point - centroid).normalized().unwrap_or(local_dir);
+            // Never let the chord flip the direction inward.
+            let dir = if chord.dot(local_dir) > 0.0 {
+                (local_dir * 0.4 + chord * 0.6).normalized_or_x()
+            } else {
+                local_dir
+            };
+            exits.push(Exit { point, dir, vertex: v, component: comp });
+        }
+    }
+    (exits, steps)
+}
+
+/// Linear extrapolation of an exit: the predicted point `distance` beyond
+/// the boundary along the structure's outward direction.
+#[inline]
+pub fn extrapolate(exit: &Exit, distance: f64) -> Vec3 {
+    exit.point + exit.dir * distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_geometry::{Aspect, ObjectId, Shape, StructureId};
+
+    fn region() -> QueryRegion {
+        QueryRegion::new(Vec3::splat(5.0), 1000.0, Aspect::Cube) // side 10 cube at [0,10]^3
+    }
+
+    fn seg_object(id: u32, a: Vec3, b: Vec3) -> SpatialObject {
+        SpatialObject::new(ObjectId(id), StructureId(0), Shape::Segment(Segment::new(a, b)))
+    }
+
+    #[test]
+    fn inside_segment_has_no_exit() {
+        let o = seg_object(0, Vec3::splat(4.0), Vec3::splat(6.0));
+        assert!(exit_of_object(&o, &region(), Simplification::Segment).is_none());
+    }
+
+    #[test]
+    fn crossing_segment_exits_outward() {
+        let o = seg_object(0, Vec3::new(5.0, 5.0, 5.0), Vec3::new(15.0, 5.0, 5.0));
+        let (p, d) = exit_of_object(&o, &region(), Simplification::Segment).unwrap();
+        assert!((p.x - 10.0).abs() < 1e-9);
+        assert!(d.x > 0.99);
+    }
+
+    #[test]
+    fn reversed_segment_still_exits_outward() {
+        // Geometry stored outside-to-inside: direction must still point out.
+        let o = seg_object(0, Vec3::new(15.0, 5.0, 5.0), Vec3::new(5.0, 5.0, 5.0));
+        let (p, d) = exit_of_object(&o, &region(), Simplification::Segment).unwrap();
+        assert!((p.x - 10.0).abs() < 1e-9);
+        assert!(d.x > 0.99, "direction flipped: {d:?}");
+    }
+
+    #[test]
+    fn extrapolation_moves_along_direction() {
+        let e = Exit {
+            point: Vec3::new(10.0, 5.0, 5.0),
+            dir: Vec3::new(1.0, 0.0, 0.0),
+            vertex: 0,
+            component: 0,
+        };
+        assert_eq!(extrapolate(&e, 7.0), Vec3::new(17.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn find_exits_filters_components() {
+        // Two chains: one crossing the +x face, one fully inside.
+        let objects = vec![
+            seg_object(0, Vec3::new(8.0, 5.0, 5.0), Vec3::new(12.0, 5.0, 5.0)),
+            seg_object(1, Vec3::new(4.0, 5.0, 5.0), Vec3::new(8.0, 5.0, 5.0)),
+            seg_object(2, Vec3::new(2.0, 2.0, 2.0), Vec3::new(3.0, 3.0, 3.0)),
+        ];
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let (g, _) = ResultGraph::grid_hash(
+            &objects,
+            &ids,
+            &region(),
+            32_768,
+            Simplification::Segment,
+        );
+        let (comp, n) = g.components();
+        assert_eq!(n, 2);
+        let (all, steps) = find_exits(&objects, &g, &comp, &region(), None, Simplification::Segment);
+        assert_eq!(all.len(), 1);
+        assert!(steps > 0);
+        // Filtering to the inside component finds nothing.
+        let inside_comp = comp[g.vertex_of(ObjectId(2)).unwrap() as usize];
+        let filter: HashSet<u32> = [inside_comp].into_iter().collect();
+        let (none, _) =
+            find_exits(&objects, &g, &comp, &region(), Some(&filter), Simplification::Segment);
+        assert!(none.is_empty());
+    }
+}

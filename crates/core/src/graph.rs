@@ -1,0 +1,311 @@
+//! The approximate result graph (§4.2).
+//!
+//! SCOUT summarizes the spatial objects of a query result as a graph:
+//! vertices are objects, edges connect spatially close objects. When the
+//! dataset carries no adjacency information the graph is built with **grid
+//! hashing** — objects (simplified to points / segments / MBRs) are mapped
+//! to equi-volume grid cells and objects sharing a cell are connected.
+//! When the guiding structure is explicit (§4.1, polygon meshes and road
+//! networks) the dataset's own adjacency is used directly.
+
+use scout_geometry::{
+    ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid,
+};
+use scout_sim::CpuUnits;
+use std::collections::HashMap;
+
+/// Local vertex index within one result graph.
+pub type VertexId = u32;
+
+/// The per-query-result object graph.
+#[derive(Debug, Clone, Default)]
+pub struct ResultGraph {
+    /// Dataset object ids, indexed by vertex.
+    object_ids: Vec<ObjectId>,
+    /// Vertex adjacency lists.
+    adjacency: Vec<Vec<VertexId>>,
+    /// Reverse map object id → vertex.
+    vertex_of: HashMap<ObjectId, VertexId>,
+}
+
+impl ResultGraph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.object_ids.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The dataset object behind a vertex.
+    #[inline]
+    pub fn object_id(&self, v: VertexId) -> ObjectId {
+        self.object_ids[v as usize]
+    }
+
+    /// The vertex of a dataset object, if present in this result.
+    #[inline]
+    pub fn vertex_of(&self, o: ObjectId) -> Option<VertexId> {
+        self.vertex_of.get(&o).copied()
+    }
+
+    /// Neighbors of a vertex.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    /// All vertices' object ids.
+    pub fn object_ids(&self) -> &[ObjectId] {
+        &self.object_ids
+    }
+
+    /// Estimated resident size of the graph structures (adjacency list +
+    /// reverse map), for the §8.2 memory measurements.
+    pub fn memory_bytes(&self) -> usize {
+        let vertex_bytes = self.object_ids.len() * std::mem::size_of::<ObjectId>();
+        let adj_bytes: usize = self
+            .adjacency
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>())
+            .sum();
+        // HashMap entries: key + value + bucket overhead (~1.6x load factor).
+        let map_bytes = self.vertex_of.len() * (std::mem::size_of::<(ObjectId, VertexId)>() * 2);
+        vertex_bytes + adj_bytes + map_bytes
+    }
+
+    fn add_vertex(&mut self, o: ObjectId) -> VertexId {
+        let v = self.object_ids.len() as VertexId;
+        self.object_ids.push(o);
+        self.adjacency.push(Vec::new());
+        self.vertex_of.insert(o, v);
+        v
+    }
+
+    fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        if a == b || self.adjacency[a as usize].contains(&b) {
+            return false;
+        }
+        self.adjacency[a as usize].push(b);
+        self.adjacency[b as usize].push(a);
+        true
+    }
+
+    /// Connected components; returns (component id per vertex, count).
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.vertex_count();
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for v in 0..n as u32 {
+            if comp[v as usize] != u32::MAX {
+                continue;
+            }
+            comp[v as usize] = next;
+            stack.push(v);
+            while let Some(u) = stack.pop() {
+                for &w in self.neighbors(u) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Builds the graph by grid hashing (§4.2) over the given result
+    /// objects. `resolution` is the total cell count over the query region.
+    ///
+    /// Returns the graph and the CPU work units spent (object inserts +
+    /// created edges), which the simulator converts to time.
+    pub fn grid_hash(
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        region: &QueryRegion,
+        resolution: u32,
+        simplification: scout_geometry::Simplification,
+    ) -> (ResultGraph, CpuUnits) {
+        let mut graph = ResultGraph::default();
+        let mut units = CpuUnits::default();
+        if result_ids.is_empty() {
+            return (graph, units);
+        }
+        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
+        // cell id -> vertices mapped to it
+        let mut cells: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for &oid in result_ids {
+            let v = graph.add_vertex(oid);
+            units.graph_object_inserts += 1;
+            let simplified = objects[oid.index()].shape.simplified(simplification);
+            scratch.clear();
+            grid.cells_for_simplified(&simplified, &mut scratch);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &c in &scratch {
+                cells.entry(c).or_default().push(v);
+            }
+        }
+        // Connect objects sharing a cell.
+        for members in cells.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if graph.add_edge(members[i], members[j]) {
+                        units.graph_edge_inserts += 1;
+                    }
+                }
+            }
+        }
+        (graph, units)
+    }
+
+    /// Builds the graph from an explicit dataset adjacency (§4.1),
+    /// restricted to the result objects.
+    pub fn from_explicit(
+        adjacency: &ObjectAdjacency,
+        result_ids: &[ObjectId],
+    ) -> (ResultGraph, CpuUnits) {
+        let mut graph = ResultGraph::default();
+        let mut units = CpuUnits::default();
+        for &oid in result_ids {
+            graph.add_vertex(oid);
+            units.graph_object_inserts += 1;
+        }
+        for &oid in result_ids {
+            let v = graph.vertex_of(oid).expect("vertex was just added");
+            for &nb in adjacency.neighbors(oid) {
+                if let Some(w) = graph.vertex_of(nb) {
+                    if graph.add_edge(v, w) {
+                        units.graph_edge_inserts += 1;
+                    }
+                }
+            }
+        }
+        (graph, units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scout_geometry::{Aspect, Segment, Shape, Simplification, StructureId, Vec3};
+
+    /// A chain of collinear segments plus one far-away point.
+    fn chain_dataset() -> (Vec<SpatialObject>, Vec<ObjectId>) {
+        let mut objects = Vec::new();
+        for i in 0..5u32 {
+            let a = Vec3::new(i as f64 * 2.0, 10.0, 10.0);
+            let b = Vec3::new((i + 1) as f64 * 2.0, 10.0, 10.0);
+            objects.push(SpatialObject::new(
+                ObjectId(i),
+                StructureId(0),
+                Shape::Segment(Segment::new(a, b)),
+            ));
+        }
+        objects.push(SpatialObject::new(
+            ObjectId(5),
+            StructureId(1),
+            Shape::Point(Vec3::new(18.0, 18.0, 18.0)),
+        ));
+        let ids = objects.iter().map(|o| o.id).collect();
+        (objects, ids)
+    }
+
+    fn region() -> QueryRegion {
+        QueryRegion::new(Vec3::splat(10.0), 8000.0, Aspect::Cube)
+    }
+
+    #[test]
+    fn grid_hash_connects_chain_not_outlier() {
+        let (objects, ids) = chain_dataset();
+        let (g, units) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 4096, Simplification::Segment);
+        assert_eq!(g.vertex_count(), 6);
+        assert!(g.edge_count() >= 4, "chain edges missing: {}", g.edge_count());
+        let (comp, count) = g.components();
+        assert_eq!(count, 2, "expected chain + outlier");
+        // The outlier is its own component.
+        let outlier = g.vertex_of(ObjectId(5)).unwrap();
+        let chain0 = g.vertex_of(ObjectId(0)).unwrap();
+        assert_ne!(comp[outlier as usize], comp[chain0 as usize]);
+        assert_eq!(units.graph_object_inserts, 6);
+        assert_eq!(units.graph_edge_inserts as usize, g.edge_count());
+    }
+
+    #[test]
+    fn coarse_grid_creates_more_edges_than_fine() {
+        let (objects, ids) = chain_dataset();
+        let (fine, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 32_768, Simplification::Segment);
+        let (coarse, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 8, Simplification::Segment);
+        assert!(
+            coarse.edge_count() >= fine.edge_count(),
+            "coarse {} < fine {}",
+            coarse.edge_count(),
+            fine.edge_count()
+        );
+        // With 8 cells the outlier ends up connected (excess edges, §4.2:
+        // "Excess edges can imply structures that are not present").
+        let (_, coarse_comps) = coarse.components();
+        assert!(coarse_comps <= 2);
+    }
+
+    #[test]
+    fn explicit_adjacency_restricts_to_result() {
+        let (objects, _) = chain_dataset();
+        let lists = vec![
+            vec![ObjectId(1)],
+            vec![ObjectId(0), ObjectId(2)],
+            vec![ObjectId(1), ObjectId(3)],
+            vec![ObjectId(2), ObjectId(4)],
+            vec![ObjectId(3)],
+            vec![],
+        ];
+        let adj = ObjectAdjacency::from_lists(&lists);
+        // Result contains only objects 0..3: edge 3-4 must be dropped.
+        let ids: Vec<ObjectId> = (0..4).map(ObjectId).collect();
+        let (g, _) = ResultGraph::from_explicit(&adj, &ids);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let _ = objects;
+    }
+
+    #[test]
+    fn empty_result_graph() {
+        let (objects, _) = chain_dataset();
+        let (g, units) =
+            ResultGraph::grid_hash(&objects, &[], &region(), 512, Simplification::Segment);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(units.graph_object_inserts, 0);
+        let (_, count) = g.components();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn memory_grows_with_graph() {
+        let (objects, ids) = chain_dataset();
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 4096, Simplification::Segment);
+        assert!(g.memory_bytes() > 0);
+        let (empty, _) =
+            ResultGraph::grid_hash(&objects, &[], &region(), 4096, Simplification::Segment);
+        assert!(g.memory_bytes() > empty.memory_bytes());
+    }
+
+    #[test]
+    fn components_of_disconnected_vertices() {
+        let (objects, ids) = chain_dataset();
+        // Point simplification with a very fine grid disconnects everything.
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 32_768, Simplification::Point);
+        let (_, count) = g.components();
+        assert!(count >= 3, "expected mostly disconnected, got {count}");
+    }
+}

@@ -1,0 +1,184 @@
+//! K-means clustering of exit locations (§5.2.2).
+//!
+//! When the candidate set is large, "their locations should be chosen so
+//! that areas where many candidate structures exit the query are
+//! prefetched. We use a k-means approach to find d clusters and … choose an
+//! exit location at random in each cluster."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scout_geometry::Vec3;
+
+/// Result of clustering: centroid and member indices per cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Cluster centroid.
+    pub centroid: Vec3,
+    /// Indices into the input point slice.
+    pub members: Vec<usize>,
+}
+
+/// Lloyd's k-means with k-means++ seeding. Deterministic in `seed`.
+/// Returns at most `k` non-empty clusters.
+pub fn kmeans(points: &[Vec3], k: usize, seed: u64, iterations: usize) -> Vec<Cluster> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ initialization.
+    let mut centroids: Vec<Vec3> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())]);
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| p.distance_sq(*c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids.
+            break;
+        }
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if pick <= d {
+                chosen = i;
+                break;
+            }
+            pick -= d;
+        }
+        centroids.push(points[chosen]);
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iterations.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| p.distance_sq(**a).total_cmp(&p.distance_sq(**b)))
+                .map(|(j, _)| j)
+                .expect("at least one centroid");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![Vec3::ZERO; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            sums[assignment[i]] += *p;
+            counts[assignment[i]] += 1;
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                *c = sums[j] / counts[j] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut clusters: Vec<Cluster> = centroids
+        .iter()
+        .map(|&centroid| Cluster { centroid, members: Vec::new() })
+        .collect();
+    for (i, &a) in assignment.iter().enumerate() {
+        clusters[a].members.push(i);
+    }
+    clusters.retain(|c| !c.members.is_empty());
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Vec3, n: usize, spread: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                center
+                    + Vec3::new(
+                        rng.random_range(-spread..spread),
+                        rng.random_range(-spread..spread),
+                        rng.random_range(-spread..spread),
+                    )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob(Vec3::ZERO, 20, 1.0, 1);
+        pts.extend(blob(Vec3::splat(100.0), 20, 1.0, 2));
+        let clusters = kmeans(&pts, 2, 7, 20);
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            assert_eq!(c.members.len(), 20);
+            // All members on the same side as the centroid.
+            let near_origin = c.centroid.norm() < 50.0;
+            for &m in &c.members {
+                assert_eq!(pts[m].norm() < 50.0, near_origin);
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_assigned_to_nearest_centroid() {
+        let pts = blob(Vec3::ZERO, 50, 20.0, 3);
+        let clusters = kmeans(&pts, 4, 9, 30);
+        let centroids: Vec<Vec3> = clusters.iter().map(|c| c.centroid).collect();
+        for c in &clusters {
+            for &m in &c.members {
+                let my_d = pts[m].distance_sq(c.centroid);
+                for other in &centroids {
+                    assert!(my_d <= pts[m].distance_sq(*other) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points() {
+        let pts = vec![Vec3::ZERO, Vec3::ONE];
+        let clusters = kmeans(&pts, 10, 1, 5);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_loop_forever() {
+        let pts = vec![Vec3::ONE; 8];
+        let clusters = kmeans(&pts, 3, 1, 5);
+        let total: usize = clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(kmeans(&[], 3, 1, 5).is_empty());
+        assert!(kmeans(&[Vec3::ZERO], 0, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = blob(Vec3::ZERO, 30, 10.0, 4);
+        let a = kmeans(&pts, 3, 42, 20);
+        let b = kmeans(&pts, 3, 42, 20);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.members, y.members);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for SCOUT's approximate graph construction.
+
+use proptest::prelude::*;
+use scout_core::ResultGraph;
+use scout_geometry::{
+    Aabb, Cylinder, ObjectId, QueryRegion, Shape, Simplification, SpatialObject, StructureId,
+    UniformGrid, Vec3,
+};
+
+fn arb_objects() -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec(
+        ((0.0..40.0, 0.0..40.0, 0.0..40.0), (-4.0..4.0, -4.0..4.0, -4.0..4.0)),
+        1..80,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), (dx, dy, dz)))| {
+                let a = Vec3::new(x, y, z);
+                SpatialObject::new(
+                    ObjectId(i as u32),
+                    StructureId(0),
+                    Shape::Cylinder(Cylinder::new(a, a + Vec3::new(dx, dy, dz), 0.3, 0.3)),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grid hashing never connects objects farther apart than one cell
+    /// diagonal (edges come from sharing a cell).
+    #[test]
+    fn edges_respect_cell_diameter(objects in arb_objects(), res in 8u32..40_000) {
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::ZERO, Vec3::splat(40.0)));
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region, res, Simplification::Segment);
+        let grid = UniformGrid::with_resolution(*region.aabb(), res);
+        let max_dist = grid.cell_diagonal() + 1e-9;
+        for v in 0..g.vertex_count() as u32 {
+            let a = &objects[g.object_id(v).index()];
+            let seg_a = a.shape.axis_segment().expect("cylinders have axes");
+            for &w in g.neighbors(v) {
+                let b = &objects[g.object_id(w).index()];
+                let seg_b = b.shape.axis_segment().expect("cylinders have axes");
+                // Segment-to-segment distance lower bound via endpoints /
+                // closest points: use the min over closest-point pairs.
+                let d = seg_a
+                    .closest_point(seg_b.a)
+                    .distance(seg_b.a)
+                    .min(seg_a.closest_point(seg_b.b).distance(seg_b.b))
+                    .min(seg_b.closest_point(seg_a.a).distance(seg_a.a))
+                    .min(seg_b.closest_point(seg_a.b).distance(seg_a.b));
+                prop_assert!(
+                    d <= max_dist,
+                    "edge between objects {d:.3} apart; cell diagonal {max_dist:.3}"
+                );
+            }
+        }
+    }
+
+    /// Coarser grids produce at least as many edges as finer grids
+    /// (§4.2: excess edges from coarse resolutions).
+    #[test]
+    fn coarser_grids_do_not_lose_edges(objects in arb_objects()) {
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::ZERO, Vec3::splat(40.0)));
+        let (fine, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 32_768, Simplification::Segment);
+        let (coarse, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 64, Simplification::Segment);
+        prop_assert!(coarse.edge_count() + 2 >= fine.edge_count(),
+            "coarse {} vs fine {}", coarse.edge_count(), fine.edge_count());
+    }
+
+    /// Component labels partition the vertices: every vertex gets exactly
+    /// one label in [0, count).
+    #[test]
+    fn components_partition_vertices(objects in arb_objects()) {
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::ZERO, Vec3::splat(40.0)));
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 4_096, Simplification::Segment);
+        let (comp, count) = g.components();
+        prop_assert_eq!(comp.len(), g.vertex_count());
+        for &c in &comp {
+            prop_assert!((c as usize) < count);
+        }
+        // Edges stay within components.
+        for v in 0..g.vertex_count() as u32 {
+            for &w in g.neighbors(v) {
+                prop_assert_eq!(comp[v as usize], comp[w as usize]);
+            }
+        }
+    }
+
+    /// Graph construction is deterministic.
+    #[test]
+    fn grid_hash_is_deterministic(objects in arb_objects()) {
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::ZERO, Vec3::splat(40.0)));
+        let (a, ua) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 4_096, Simplification::Segment);
+        let (b, ub) =
+            ResultGraph::grid_hash(&objects, &ids, &region, 4_096, Simplification::Segment);
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        prop_assert_eq!(ua.graph_edge_inserts, ub.graph_edge_inserts);
+    }
+}

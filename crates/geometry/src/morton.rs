@@ -1,0 +1,76 @@
+//! Morton (Z-order) codes.
+//!
+//! Used as a cheap locality-preserving ordering in index bulk loading and as
+//! a comparison point for the Hilbert curve (Hilbert preserves locality
+//! strictly better; see the property tests).
+
+/// Spreads the low 21 bits of `v` so there are two zero bits between each.
+#[inline]
+fn part1by2(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`part1by2`].
+#[inline]
+fn compact1by2(v: u64) -> u32 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Morton code of 3-D cell coordinates (each < 2²¹).
+#[inline]
+pub fn morton_index_3d(coords: [u32; 3]) -> u64 {
+    debug_assert!(coords.iter().all(|&c| c < (1 << 21)));
+    part1by2(coords[0]) | (part1by2(coords[1]) << 1) | (part1by2(coords[2]) << 2)
+}
+
+/// Inverse of [`morton_index_3d`].
+#[inline]
+pub fn morton_coords_3d(index: u64) -> [u32; 3] {
+    [compact1by2(index), compact1by2(index >> 1), compact1by2(index >> 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for c in [
+            [0u32, 0, 0],
+            [1, 2, 3],
+            [1023, 511, 255],
+            [(1 << 21) - 1, 0, (1 << 21) - 1],
+        ] {
+            assert_eq!(morton_coords_3d(morton_index_3d(c)), c);
+        }
+    }
+
+    #[test]
+    fn ordering_within_octants() {
+        // All cells in the low octant sort before any in the high octant.
+        let lo = morton_index_3d([1, 1, 1]);
+        let hi = morton_index_3d([2, 0, 0]);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn interleave_pattern() {
+        // x=1 -> bit 0, y=1 -> bit 1, z=1 -> bit 2.
+        assert_eq!(morton_index_3d([1, 0, 0]), 0b001);
+        assert_eq!(morton_index_3d([0, 1, 0]), 0b010);
+        assert_eq!(morton_index_3d([0, 0, 1]), 0b100);
+        assert_eq!(morton_index_3d([1, 1, 1]), 0b111);
+    }
+}

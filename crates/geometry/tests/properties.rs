@@ -1,0 +1,158 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use scout_geometry::aabb::Aabb;
+use scout_geometry::grid::UniformGrid;
+use scout_geometry::hilbert::{hilbert_coords_3d, hilbert_index_3d};
+use scout_geometry::intersect::{
+    clip_segment_to_aabb, segment_aabb_distance, segment_intersects_aabb,
+};
+use scout_geometry::morton::{morton_coords_3d, morton_index_3d};
+use scout_geometry::shapes::Segment;
+use scout_geometry::vec3::Vec3;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_aabb(range: f64) -> impl Strategy<Value = Aabb> {
+    (arb_vec3(range), arb_vec3(range)).prop_map(|(a, b)| Aabb::from_corners(a, b))
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_aabb(&a));
+        prop_assert!(u.contains_aabb(&b));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        prop_assert!(a.contains_aabb(&i1));
+        prop_assert!(b.contains_aabb(&i1));
+    }
+
+    #[test]
+    fn contains_implies_intersects(a in arb_aabb(100.0), b in arb_aabb(100.0)) {
+        if a.contains_aabb(&b) && !b.is_empty() {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn intersection_volume_bounded(a in arb_aabb(50.0), b in arb_aabb(50.0)) {
+        let i = a.intersection(&b);
+        prop_assert!(i.volume() <= a.volume() + 1e-9);
+        prop_assert!(i.volume() <= b.volume() + 1e-9);
+    }
+
+    #[test]
+    fn closest_point_is_inside(a in arb_aabb(100.0), p in arb_vec3(200.0)) {
+        if !a.is_empty() {
+            prop_assert!(a.contains_point(a.closest_point(p)));
+        }
+    }
+
+    #[test]
+    fn clip_segment_endpoints_inside_box(
+        a in arb_vec3(50.0), b in arb_vec3(50.0), bx in arb_aabb(30.0)
+    ) {
+        let seg = Segment::new(a, b);
+        if let Some((t0, t1)) = clip_segment_to_aabb(&seg, &bx) {
+            prop_assert!((0.0..=1.0).contains(&t0));
+            prop_assert!((0.0..=1.0).contains(&t1));
+            prop_assert!(t0 <= t1);
+            // Clipped points lie (approximately) inside the box.
+            let eps = 1e-6 * (1.0 + bx.extent().max_component());
+            let inside = |p: Vec3| {
+                p.x >= bx.min.x - eps && p.x <= bx.max.x + eps &&
+                p.y >= bx.min.y - eps && p.y <= bx.max.y + eps &&
+                p.z >= bx.min.z - eps && p.z <= bx.max.z + eps
+            };
+            prop_assert!(inside(seg.at(t0)));
+            prop_assert!(inside(seg.at(t1)));
+        }
+    }
+
+    #[test]
+    fn segment_distance_zero_iff_intersects(
+        a in arb_vec3(20.0), b in arb_vec3(20.0), bx in arb_aabb(15.0)
+    ) {
+        let seg = Segment::new(a, b);
+        let d = segment_aabb_distance(&seg, &bx);
+        if segment_intersects_aabb(&seg, &bx) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn segment_distance_lower_bounds_endpoint_distance(
+        a in arb_vec3(20.0), b in arb_vec3(20.0), bx in arb_aabb(15.0)
+    ) {
+        let seg = Segment::new(a, b);
+        let d = segment_aabb_distance(&seg, &bx);
+        let da = bx.distance_sq_to_point(a).sqrt();
+        let db = bx.distance_sq_to_point(b).sqrt();
+        prop_assert!(d <= da.min(db) + 1e-6);
+    }
+
+    #[test]
+    fn hilbert_round_trip(x in 0u32..32, y in 0u32..32, z in 0u32..32) {
+        let idx = hilbert_index_3d([x, y, z], 5);
+        prop_assert_eq!(hilbert_coords_3d(idx, 5), [x, y, z]);
+    }
+
+    #[test]
+    fn hilbert_is_injective(
+        a in (0u32..16, 0u32..16, 0u32..16),
+        b in (0u32..16, 0u32..16, 0u32..16),
+    ) {
+        let ia = hilbert_index_3d([a.0, a.1, a.2], 4);
+        let ib = hilbert_index_3d([b.0, b.1, b.2], 4);
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    #[test]
+    fn morton_round_trip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        prop_assert_eq!(morton_coords_3d(morton_index_3d([x, y, z])), [x, y, z]);
+    }
+
+    #[test]
+    fn grid_cell_of_is_consistent_with_cell_aabb(
+        p in arb_vec3(10.0),
+        dims in (1u32..8, 1u32..8, 1u32..8),
+    ) {
+        let bounds = Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0));
+        let g = UniformGrid::new(bounds, [dims.0, dims.1, dims.2]);
+        let c = g.coords_of(p);
+        let cell_box = g.cell_aabb(c);
+        // The cell box (slightly expanded for FP slack) contains the point.
+        prop_assert!(cell_box.expanded(1e-9).contains_point(p.clamp(bounds.min, bounds.max)));
+    }
+
+    #[test]
+    fn grid_segment_traversal_covers_endpoints(
+        a in arb_vec3(9.0), b in arb_vec3(9.0),
+        dims in 1u32..12,
+    ) {
+        let bounds = Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0));
+        let g = UniformGrid::new(bounds, [dims; 3]);
+        let mut cells = Vec::new();
+        g.cells_for_segment(&Segment::new(a, b), &mut cells);
+        prop_assert!(cells.contains(&g.cell_of(a)));
+        prop_assert!(cells.contains(&g.cell_of(b)));
+        // Consecutive traversed cells are face-adjacent.
+        for w in cells.windows(2) {
+            let ca = g.coords_from_id(w[0]);
+            let cb = g.coords_from_id(w[1]);
+            let dist: u32 = ca.iter().zip(cb.iter()).map(|(&p, &q)| p.abs_diff(q)).sum();
+            prop_assert!(dist <= 1, "non-adjacent cells {ca:?} -> {cb:?}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # scout-index
+//!
+//! Spatial indexes over paged layouts: the STR bulk-loaded R-tree the paper
+//! couples with plain SCOUT, and a FLAT-style neighborhood index providing
+//! the ordered page retrieval SCOUT-OPT requires (§6).
+
+pub mod flat;
+pub mod rtree;
+pub mod str_pack;
+pub mod traits;
+
+pub use flat::{FlatConfig, FlatIndex};
+pub use rtree::RTree;
+pub use str_pack::{str_pack, DEFAULT_PAGE_BYTES, DEFAULT_PAGE_CAPACITY};
+pub use traits::{OrderedSpatialIndex, QueryResult, SpatialIndex};

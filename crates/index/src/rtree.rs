@@ -1,0 +1,316 @@
+//! A packed R-tree over STR-bulk-loaded pages.
+//!
+//! This is the "widely used R-Tree (STR Bulkloaded)" the paper couples with
+//! plain SCOUT (§7.1). Leaves are the disk pages produced by
+//! [`crate::str_pack::str_pack`]; internal levels are built by packing
+//! consecutive (already STR-ordered) entries, the standard construction for
+//! bulk-loaded R-trees.
+
+use crate::str_pack::{str_pack, DEFAULT_PAGE_CAPACITY};
+use crate::traits::SpatialIndex;
+use scout_geometry::{Aabb, SpatialObject, Vec3};
+use scout_storage::{PageId, PageLayout};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Internal-node fanout (how many children each directory node packs).
+pub const INTERNAL_FANOUT: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Children {
+    /// Leaf-level directory node: children are disk pages.
+    Leaves(Vec<PageId>),
+    /// Inner directory node: children are other nodes.
+    Nodes(Vec<u32>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Aabb,
+    children: Children,
+}
+
+/// An immutable, bulk-loaded R-tree.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    layout: PageLayout,
+    nodes: Vec<Node>,
+    root: u32,
+    height: usize,
+}
+
+impl RTree {
+    /// Bulk loads a dataset with STR packing and the default §7.1 page
+    /// capacity (87 objects).
+    pub fn bulk_load(objects: &[SpatialObject]) -> RTree {
+        Self::bulk_load_with_capacity(objects, DEFAULT_PAGE_CAPACITY)
+    }
+
+    /// Bulk loads with an explicit page capacity.
+    pub fn bulk_load_with_capacity(objects: &[SpatialObject], capacity: usize) -> RTree {
+        let layout = str_pack(objects, capacity);
+        Self::from_layout(layout)
+    }
+
+    /// Builds the directory over an existing page layout.
+    pub fn from_layout(layout: PageLayout) -> RTree {
+        let mut nodes: Vec<Node> = Vec::new();
+        // Level 0: directory nodes over consecutive pages.
+        let mut level: Vec<u32> = layout
+            .pages()
+            .chunks(INTERNAL_FANOUT)
+            .map(|chunk| {
+                let mbr = chunk.iter().fold(Aabb::EMPTY, |acc, p| acc.union(&p.mbr));
+                let ids = chunk.iter().map(|p| p.id).collect();
+                nodes.push(Node { mbr, children: Children::Leaves(ids) });
+                (nodes.len() - 1) as u32
+            })
+            .collect();
+        let mut height = 1;
+        while level.len() > 1 {
+            level = level
+                .chunks(INTERNAL_FANOUT)
+                .map(|chunk| {
+                    let mbr = chunk
+                        .iter()
+                        .fold(Aabb::EMPTY, |acc, &n| acc.union(&nodes[n as usize].mbr));
+                    nodes.push(Node { mbr, children: Children::Nodes(chunk.to_vec()) });
+                    (nodes.len() - 1) as u32
+                })
+                .collect();
+            height += 1;
+        }
+        let root = level[0];
+        RTree { layout, nodes, root, height }
+    }
+
+    /// Tree height in directory levels (excludes the page level).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// MBR of the whole dataset.
+    pub fn bounds(&self) -> Aabb {
+        self.nodes[self.root as usize].mbr
+    }
+
+    /// The page whose MBR is nearest to `p` (contains it when possible).
+    ///
+    /// Exact best-first search over MBR distances.
+    pub fn nearest_page(&self, p: Vec3) -> Option<PageId> {
+        self.k_nearest_pages(p, 1).into_iter().next()
+    }
+
+    /// The `k` pages with smallest MBR distance to `p`, nearest first.
+    pub fn k_nearest_pages(&self, p: Vec3, k: usize) -> Vec<PageId> {
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f64,
+            /// Directory node (`true`) or page (`false`).
+            is_node: bool,
+            id: u32,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.dist.total_cmp(&other.dist)
+            }
+        }
+
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry { dist: 0.0, is_node: true, id: self.root }));
+        while let Some(Reverse(e)) = heap.pop() {
+            if e.is_node {
+                match &self.nodes[e.id as usize].children {
+                    Children::Nodes(children) => {
+                        for &c in children {
+                            let d = self.nodes[c as usize].mbr.distance_sq_to_point(p);
+                            heap.push(Reverse(Entry { dist: d, is_node: true, id: c }));
+                        }
+                    }
+                    Children::Leaves(pages) => {
+                        for &pid in pages {
+                            let d =
+                                self.layout.page(pid).mbr.distance_sq_to_point(p);
+                            heap.push(Reverse(Entry { dist: d, is_node: false, id: pid.0 }));
+                        }
+                    }
+                }
+            } else {
+                out.push(PageId(e.id));
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SpatialIndex for RTree {
+    fn layout(&self) -> &PageLayout {
+        &self.layout
+    }
+
+    fn pages_in_region(&self, region: &Aabb) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if !node.mbr.intersects(region) {
+                continue;
+            }
+            match &node.children {
+                Children::Nodes(children) => {
+                    // Push in reverse so traversal visits children in
+                    // packed (spatial) order.
+                    for &c in children.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+                Children::Leaves(pages) => {
+                    for &pid in pages {
+                        if self.layout.page(pid).mbr.intersects(region) {
+                            out.push(pid);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::SpatialIndex;
+    use scout_geometry::{ObjectId, QueryRegion, Shape, StructureId};
+
+    fn grid_objects(n_per_axis: usize, spacing: f64) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        let mut id = 0u32;
+        for x in 0..n_per_axis {
+            for y in 0..n_per_axis {
+                for z in 0..n_per_axis {
+                    out.push(SpatialObject::new(
+                        ObjectId(id),
+                        StructureId(0),
+                        Shape::Point(Vec3::new(
+                            x as f64 * spacing,
+                            y as f64 * spacing,
+                            z as f64 * spacing,
+                        )),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let objs = grid_objects(10, 1.0); // 1000 points in [0,9]^3
+        let tree = RTree::bulk_load_with_capacity(&objs, 16);
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::splat(2.5), Vec3::splat(6.5)));
+        let mut got: Vec<u32> = tree
+            .range_query(&objs, &region)
+            .objects
+            .iter()
+            .map(|o| o.0)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = objs
+            .iter()
+            .filter(|o| region.aabb().contains_point(o.centroid()))
+            .map(|o| o.id.0)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(expect.len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn query_outside_bounds_is_empty() {
+        let objs = grid_objects(4, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::splat(100.0), Vec3::splat(101.0)));
+        let r = tree.range_query(&objs, &region);
+        assert!(r.is_empty());
+        assert!(r.pages.is_empty());
+    }
+
+    #[test]
+    fn multi_level_tree_built_for_many_pages() {
+        let objs = grid_objects(20, 1.0); // 8000 objects
+        let tree = RTree::bulk_load_with_capacity(&objs, 4); // 2000 pages
+        assert!(tree.height() >= 2, "height {}", tree.height());
+        assert!(tree.bounds().contains_point(Vec3::splat(19.0)));
+    }
+
+    #[test]
+    fn nearest_page_is_globally_nearest() {
+        let objs = grid_objects(8, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        for p in [
+            Vec3::new(3.4, 2.2, 5.9),
+            Vec3::new(-4.0, 0.0, 0.0),
+            Vec3::new(7.0, 7.0, 7.0),
+        ] {
+            let page = tree.nearest_page(p).unwrap();
+            let got = tree.layout().page(page).mbr.distance_sq_to_point(p);
+            let best = tree
+                .layout()
+                .pages()
+                .iter()
+                .map(|pg| pg.mbr.distance_sq_to_point(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got - best).abs() < 1e-12, "{got} vs brute-force {best}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_pages_sorted_by_distance() {
+        let objs = grid_objects(8, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let p = Vec3::new(20.0, 20.0, 20.0); // outside; distances all > 0
+        let near = tree.k_nearest_pages(p, 5);
+        assert_eq!(near.len(), 5);
+        let dists: Vec<f64> = near
+            .iter()
+            .map(|&pid| tree.layout().page(pid).mbr.distance_sq_to_point(p))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Exact: compare against brute force.
+        let mut all: Vec<(f64, PageId)> = tree
+            .layout()
+            .pages()
+            .iter()
+            .map(|pg| (pg.mbr.distance_sq_to_point(p), pg.id))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!((dists[0] - all[0].0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pages_in_region_only_intersecting() {
+        let objs = grid_objects(10, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 16);
+        let region = Aabb::new(Vec3::splat(0.0), Vec3::splat(3.0));
+        for pid in tree.pages_in_region(&region) {
+            assert!(tree.layout().page(pid).mbr.intersects(&region));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Index abstractions.
+//!
+//! SCOUT "accesses the spatial data through a spatial index … Any spatial
+//! index can be used as long as it can execute spatial range queries" (§4).
+//! That contract is [`SpatialIndex`]. The §6 optimizations additionally
+//! require an index that "a) allows the retrieval of pages from disk in a
+//! particular spatial order and b) stores the relative positions of objects
+//! (neighborhood information)" — that is [`OrderedSpatialIndex`], modeled
+//! after FLAT [27] and DLS [21].
+
+use scout_geometry::intersect::shape_intersects_aabb;
+use scout_geometry::{QueryRegion, SpatialObject, Vec3};
+use scout_storage::{PageId, PageLayout};
+
+/// The result of a range query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Pages touched to answer the query, in retrieval order.
+    pub pages: Vec<PageId>,
+    /// Objects whose geometry intersects the query region.
+    pub objects: Vec<scout_geometry::ObjectId>,
+}
+
+impl QueryResult {
+    /// Number of result objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects matched.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// A spatial index able to execute range queries over a page layout.
+pub trait SpatialIndex {
+    /// The physical page layout this index was bulk-loaded into.
+    fn layout(&self) -> &PageLayout;
+
+    /// Pages whose MBR intersects `region`, in the index's natural
+    /// retrieval order.
+    fn pages_in_region(&self, region: &scout_geometry::Aabb) -> Vec<PageId>;
+
+    /// Executes a range query: touches every page overlapping the region
+    /// and filters the contained objects with exact geometry tests.
+    fn range_query(&self, objects: &[SpatialObject], region: &QueryRegion) -> QueryResult {
+        let pages = self.pages_in_region(region.aabb());
+        let mut out = QueryResult { pages, objects: Vec::new() };
+        for &pid in &out.pages {
+            for &oid in &self.layout().page(pid).objects {
+                if shape_intersects_aabb(&objects[oid.index()].shape, region.aabb()) {
+                    out.objects.push(oid);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An index with neighborhood information supporting ordered retrieval
+/// (the FLAT/DLS class used by SCOUT-OPT, §6.1).
+pub trait OrderedSpatialIndex: SpatialIndex {
+    /// A page whose MBR contains `p`, or the page closest to `p`.
+    fn seed_page(&self, p: Vec3) -> Option<PageId>;
+
+    /// Pages spatially adjacent to `page` (the precomputed neighborhood).
+    fn page_neighbors(&self, page: PageId) -> &[PageId];
+
+    /// Pages overlapping `region` retrieved by crawling neighbor links
+    /// from the page nearest `start`, in breadth-first (spatial) order.
+    fn crawl_region(&self, region: &scout_geometry::Aabb, start: Vec3) -> Vec<PageId>;
+}

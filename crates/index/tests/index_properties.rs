@@ -1,0 +1,94 @@
+//! Property tests: both indexes must agree with brute-force range scans on
+//! arbitrary datasets, and FLAT's crawl must retrieve exactly the R-tree's
+//! page set.
+
+use proptest::prelude::*;
+use scout_geometry::intersect::shape_intersects_aabb;
+use scout_geometry::{
+    Aabb, Cylinder, ObjectId, QueryRegion, Shape, SpatialObject, StructureId, Vec3,
+};
+use scout_index::{FlatConfig, FlatIndex, RTree, SpatialIndex};
+
+fn arb_objects() -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec(
+        (
+            (-50.0..50.0, -50.0..50.0, -50.0..50.0),
+            (-3.0..3.0, -3.0..3.0, -3.0..3.0),
+            0.1..1.0f64,
+        ),
+        1..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), (dx, dy, dz), r))| {
+                let a = Vec3::new(x, y, z);
+                let b = a + Vec3::new(dx, dy, dz);
+                SpatialObject::new(
+                    ObjectId(i as u32),
+                    StructureId(0),
+                    Shape::Cylinder(Cylinder::new(a, b, r, r)),
+                )
+            })
+            .collect()
+    })
+}
+
+fn arb_region() -> impl Strategy<Value = QueryRegion> {
+    ((-60.0..60.0, -60.0..60.0, -60.0..60.0), 1.0..30.0f64).prop_map(|((x, y, z), side)| {
+        let c = Vec3::new(x, y, z);
+        QueryRegion::from_aabb(Aabb::from_center_extent(c, Vec3::splat(side)))
+    })
+}
+
+fn brute_force(objects: &[SpatialObject], region: &QueryRegion) -> Vec<u32> {
+    let mut out: Vec<u32> = objects
+        .iter()
+        .filter(|o| shape_intersects_aabb(&o.shape, region.aabb()))
+        .map(|o| o.id.0)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_matches_brute_force(objects in arb_objects(), region in arb_region()) {
+        let tree = RTree::bulk_load_with_capacity(&objects, 8);
+        let mut got: Vec<u32> =
+            tree.range_query(&objects, &region).objects.iter().map(|o| o.0).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&objects, &region));
+    }
+
+    #[test]
+    fn flat_matches_brute_force(objects in arb_objects(), region in arb_region()) {
+        let flat = FlatIndex::bulk_load_with(&objects, 8, FlatConfig::default());
+        let mut got: Vec<u32> =
+            flat.range_query(&objects, &region).objects.iter().map(|o| o.0).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&objects, &region));
+    }
+
+    #[test]
+    fn flat_pages_equal_rtree_pages(objects in arb_objects(), region in arb_region()) {
+        let flat = FlatIndex::bulk_load_with(&objects, 8, FlatConfig::default());
+        let mut a = flat.pages_in_region(region.aabb());
+        let mut b = flat.rtree().pages_in_region(region.aabb());
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crawl_has_no_duplicates(objects in arb_objects(), region in arb_region()) {
+        let flat = FlatIndex::bulk_load_with(&objects, 8, FlatConfig::default());
+        let pages = flat.pages_in_region(region.aabb());
+        let mut dedup = pages.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), pages.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! What a prefetcher is allowed to see.
+
+use scout_geometry::{Aabb, ObjectAdjacency, SpatialObject};
+use scout_index::{OrderedSpatialIndex, SpatialIndex};
+
+/// The environment handed to prefetchers: the dataset's objects, the
+/// spatial index serving queries, and — when the dataset's guiding
+/// structure is explicit (§4.1) — the object adjacency graph.
+///
+/// Prefetchers must not look at anything else; in particular the
+/// ground-truth guide graph and `StructureId`s are off limits (§7.1: SCOUT
+/// "do[es] not exploit any application specific information").
+pub struct SimContext<'a> {
+    /// All dataset objects, indexed by `ObjectId`.
+    pub objects: &'a [SpatialObject],
+    /// The index executing range queries.
+    pub index: &'a dyn SpatialIndex,
+    /// The same index when it supports ordered retrieval (FLAT class);
+    /// `None` when running on a plain R-tree.
+    pub ordered: Option<&'a dyn OrderedSpatialIndex>,
+    /// Bounding box of the dataset (grids for Hilbert/Layered prefetch).
+    pub bounds: Aabb,
+    /// Explicit object adjacency, when the dataset provides one.
+    pub adjacency: Option<&'a ObjectAdjacency>,
+}
+
+impl<'a> SimContext<'a> {
+    /// Context over a plain range-query index.
+    pub fn new(
+        objects: &'a [SpatialObject],
+        index: &'a dyn SpatialIndex,
+        bounds: Aabb,
+    ) -> SimContext<'a> {
+        SimContext { objects, index, ordered: None, bounds, adjacency: None }
+    }
+
+    /// Attaches an ordered index view (enables SCOUT-OPT).
+    pub fn with_ordered(mut self, ordered: &'a dyn OrderedSpatialIndex) -> SimContext<'a> {
+        self.ordered = Some(ordered);
+        self
+    }
+
+    /// Attaches an explicit object adjacency graph.
+    pub fn with_adjacency(mut self, adjacency: &'a ObjectAdjacency) -> SimContext<'a> {
+        self.adjacency = Some(adjacency);
+        self
+    }
+}

@@ -1,0 +1,371 @@
+//! The execution timeline of Figure 2.
+//!
+//! For every query in a guided sequence the executor: (1) serves result
+//! pages from the prefetch cache, reading misses from the simulated disk —
+//! the *residual I/O* that constitutes the user-visible response time;
+//! (2) lets the prefetcher digest the result (prediction computation,
+//! charged CPU time); (3) opens the prefetch window `u = r · d` (§7.2,
+//! where `d` is the simulated time to read the whole result from disk and
+//! `r` the workload's prefetch-window ratio) and executes the prefetcher's
+//! prioritized plan until the window closes — the *incremental prefetching*
+//! contract of §5.1.
+
+use crate::context::SimContext;
+use crate::costs::CpuCostModel;
+use crate::prefetcher::{PrefetchRequest, Prefetcher, PredictionStats};
+use scout_geometry::QueryRegion;
+use scout_storage::{DiskModel, DiskProfile, IoStats, PrefetchCache};
+
+/// Executor configuration (one microbenchmark's environment).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Prefetch-window ratio `r = u/d` (Figure 10).
+    pub window_ratio: f64,
+    /// Prefetch cache capacity in pages.
+    pub cache_pages: usize,
+    /// Simulated disk latencies.
+    pub disk: DiskProfile,
+    /// CPU cost model for prediction work.
+    pub costs: CpuCostModel,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            window_ratio: 1.0,
+            cache_pages: 4096,
+            disk: DiskProfile::default(),
+            costs: CpuCostModel::default(),
+        }
+    }
+}
+
+/// Per-query measurements.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// Result pages requested.
+    pub pages_total: usize,
+    /// Result pages served from the cache.
+    pub pages_hit: usize,
+    /// Result objects.
+    pub result_objects: usize,
+    /// Residual I/O time (user-visible response), µs.
+    pub residual_us: f64,
+    /// Simulated time to read the whole result from disk (the paper's `d`).
+    pub d_ref_us: f64,
+    /// Window duration `u = r · d`, µs.
+    pub window_us: f64,
+    /// Graph-building CPU, µs.
+    pub graph_build_us: f64,
+    /// Prediction CPU (traversal, clustering), µs.
+    pub prediction_us: f64,
+    /// Pages prefetched during the window.
+    pub prefetch_pages: usize,
+    /// Overhead pages read for gap traversal.
+    pub gap_pages: usize,
+    /// Prefetcher-reported stats.
+    pub prediction: PredictionStats,
+}
+
+impl QueryTrace {
+    /// Cache-hit rate of this query.
+    pub fn hit_rate(&self) -> f64 {
+        if self.pages_total == 0 {
+            0.0
+        } else {
+            self.pages_hit as f64 / self.pages_total as f64
+        }
+    }
+}
+
+/// Measurements for one full sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceTrace {
+    /// Per-query traces, in order.
+    pub queries: Vec<QueryTrace>,
+    /// Aggregated I/O stats.
+    pub io: IoStats,
+}
+
+impl SequenceTrace {
+    /// Sequence-level cache-hit rate: fraction of all result pages served
+    /// from the cache (the paper's accuracy metric, footnote 1).
+    pub fn hit_rate(&self) -> f64 {
+        self.io.hit_rate()
+    }
+
+    /// Total user-visible response time (Σ residual I/O), µs.
+    pub fn total_response_us(&self) -> f64 {
+        self.queries.iter().map(|q| q.residual_us).sum()
+    }
+
+    /// Total graph-building CPU, µs.
+    pub fn total_graph_build_us(&self) -> f64 {
+        self.queries.iter().map(|q| q.graph_build_us).sum()
+    }
+
+    /// Total prediction CPU, µs.
+    pub fn total_prediction_us(&self) -> f64 {
+        self.queries.iter().map(|q| q.prediction_us).sum()
+    }
+
+    /// Total result objects across all queries.
+    pub fn total_result_objects(&self) -> usize {
+        self.queries.iter().map(|q| q.result_objects).sum()
+    }
+}
+
+/// Runs one guided query sequence against a fresh cache and disk.
+///
+/// The prefetcher is `reset()` first; cache, disk head and counters start
+/// cold (§7.1 clears all caches between sequences).
+pub fn run_sequence(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    regions: &[QueryRegion],
+    config: &ExecutorConfig,
+) -> SequenceTrace {
+    let mut cache = PrefetchCache::new(config.cache_pages);
+    let mut disk = DiskModel::new(config.disk);
+    let mut trace = SequenceTrace::default();
+    prefetcher.reset();
+
+    for region in regions {
+        let mut q = QueryTrace::default();
+        let result = ctx.index.range_query(ctx.objects, region);
+        q.pages_total = result.pages.len();
+        q.result_objects = result.objects.len();
+
+        // The paper's d: reading the whole result from disk in retrieval
+        // order with a fresh head (independent of cache state).
+        q.d_ref_us = {
+            let mut fresh = DiskModel::new(config.disk);
+            result.pages.iter().map(|&p| fresh.read_page(p)).sum::<f64>()
+        };
+
+        // (1) Serve the query: cache hits are free I/O; misses are the
+        // residual I/O the user waits for. Only *prefetched* pages live in
+        // the cache (§7.1: the 4 GB cache holds prefetched data; result
+        // pages stream to the user's analysis memory), so the hit rate
+        // measures prediction accuracy, not incidental query overlap.
+        for &page in &result.pages {
+            if cache.access(page) {
+                q.pages_hit += 1;
+                trace.io.result_pages_cache += 1;
+            } else {
+                let t = disk.read_page(page);
+                q.residual_us += t;
+                trace.io.result_pages_disk += 1;
+                trace.io.residual_io_us += t;
+            }
+        }
+        // CPU cost of processing the result pages (charged to response).
+        q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
+
+        // (2) Prediction.
+        q.prediction = prefetcher.observe(ctx, region, &result);
+        q.graph_build_us = config.costs.graph_build_us(&q.prediction.cpu);
+        q.prediction_us = config.costs.prediction_us(&q.prediction.cpu);
+
+        // (3) Prefetch window. Graph building is interleaved with result
+        // retrieval (§4: "while the result is read, the graph is already
+        // assembled"), so only the part exceeding the retrieval time delays
+        // the window; traversal/prediction always does — unless the method
+        // overlaps prediction with retrieval entirely (SCOUT-OPT, §6.2).
+        q.window_us = config.window_ratio * q.d_ref_us;
+        let prediction_delay = if prefetcher.overlaps_prediction() {
+            0.0
+        } else {
+            (q.graph_build_us - q.residual_us).max(0.0) + q.prediction_us
+        };
+        let mut budget = (q.window_us - prediction_delay).max(0.0);
+
+        let plan = prefetcher.plan(ctx);
+        'window: for request in plan.requests {
+            let (pages, is_gap) = match request {
+                PrefetchRequest::Region(r) => (ctx.index.pages_in_region(r.aabb()), false),
+                PrefetchRequest::Pages(p) => (p, false),
+                PrefetchRequest::GapPages(p) => (p, true),
+            };
+            for page in pages {
+                if cache.contains(page) {
+                    continue;
+                }
+                let t = disk.read_page(page);
+                if t > budget {
+                    break 'window; // the user issued the next query
+                }
+                budget -= t;
+                cache.insert(page);
+                trace.io.prefetch_io_us += t;
+                trace.io.prefetch_pages_disk += 1;
+                q.prefetch_pages += 1;
+                if is_gap {
+                    trace.io.gap_pages_disk += 1;
+                    q.gap_pages += 1;
+                }
+            }
+        }
+
+        trace.queries.push(q);
+    }
+    trace
+}
+
+/// Runs `sequences` independently (fresh cache per sequence) and merges.
+pub fn run_sequences(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    sequences: &[Vec<QueryRegion>],
+    config: &ExecutorConfig,
+) -> Vec<SequenceTrace> {
+    sequences
+        .iter()
+        .map(|regions| run_sequence(ctx, prefetcher, regions, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetcher::{NoPrefetch, PrefetchPlan};
+    use scout_geometry::{Aabb, ObjectId, Shape, SpatialObject, StructureId, Vec3};
+    use scout_index::RTree;
+
+    fn line_dataset() -> Vec<SpatialObject> {
+        // 400 points along the x axis.
+        (0..400)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    StructureId(0),
+                    Shape::Point(Vec3::new(i as f64, 0.5, 0.5)),
+                )
+            })
+            .collect()
+    }
+
+    fn regions_along_x(n: usize, side: f64, step: f64) -> Vec<QueryRegion> {
+        (0..n)
+            .map(|i| {
+                QueryRegion::from_aabb(Aabb::from_center_extent(
+                    Vec3::new(10.0 + i as f64 * step, 0.5, 0.5),
+                    Vec3::splat(side),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_prefetch_reads_everything_from_disk_first_time() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let regions = regions_along_x(5, 10.0, 20.0); // disjoint queries
+        let mut p = NoPrefetch;
+        let t = run_sequence(&ctx, &mut p, &regions, &ExecutorConfig::default());
+        assert_eq!(t.io.result_pages_cache, 0);
+        assert!(t.io.result_pages_disk > 0);
+        assert_eq!(t.hit_rate(), 0.0);
+        assert!(t.total_response_us() > 0.0);
+    }
+
+    #[test]
+    fn result_pages_are_not_cached_without_prefetching() {
+        // §7.1: the cache holds *prefetched* data only — overlapping
+        // queries re-read their overlap from disk when nothing was
+        // prefetched, so the hit rate measures prediction accuracy.
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let regions = regions_along_x(10, 20.0, 5.0); // heavy overlap
+        let mut p = NoPrefetch;
+        let t = run_sequence(&ctx, &mut p, &regions, &ExecutorConfig::default());
+        assert_eq!(t.hit_rate(), 0.0);
+        assert_eq!(t.io.result_pages_cache, 0);
+    }
+
+    /// A perfect oracle that prefetches the next query's exact region.
+    struct Oracle {
+        regions: Vec<QueryRegion>,
+        next: usize,
+    }
+    impl Prefetcher for Oracle {
+        fn name(&self) -> String {
+            "Oracle".into()
+        }
+        fn observe(
+            &mut self,
+            _ctx: &SimContext<'_>,
+            _region: &QueryRegion,
+            _result: &scout_index::QueryResult,
+        ) -> PredictionStats {
+            self.next += 1;
+            PredictionStats::default()
+        }
+        fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
+            let mut plan = PrefetchPlan::empty();
+            if self.next < self.regions.len() {
+                plan.requests.push(PrefetchRequest::Region(self.regions[self.next]));
+            }
+            plan
+        }
+        fn reset(&mut self) {
+            self.next = 0;
+        }
+    }
+
+    #[test]
+    fn oracle_with_ample_window_prefetches_almost_everything() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let regions = regions_along_x(8, 10.0, 20.0); // disjoint
+        let mut oracle = Oracle { regions: regions.clone(), next: 0 };
+        let cfg = ExecutorConfig { window_ratio: 4.0, ..Default::default() };
+        let t = run_sequence(&ctx, &mut oracle, &regions, &cfg);
+        // Only the first query misses.
+        assert!(t.hit_rate() > 0.8, "oracle hit rate {}", t.hit_rate());
+        // And it beats no-prefetching on response time.
+        let mut none = NoPrefetch;
+        let t0 = run_sequence(&ctx, &mut none, &regions, &cfg);
+        assert!(t.total_response_us() < t0.total_response_us() * 0.5);
+    }
+
+    #[test]
+    fn zero_window_prevents_prefetching() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let regions = regions_along_x(6, 10.0, 20.0);
+        let mut oracle = Oracle { regions: regions.clone(), next: 0 };
+        let cfg = ExecutorConfig { window_ratio: 0.0, ..Default::default() };
+        let t = run_sequence(&ctx, &mut oracle, &regions, &cfg);
+        assert_eq!(t.io.prefetch_pages_disk, 0);
+        assert_eq!(t.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn window_scales_with_ratio() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let regions = regions_along_x(6, 10.0, 20.0);
+        let mut oracle = Oracle { regions: regions.clone(), next: 0 };
+        let lo = run_sequence(
+            &ctx,
+            &mut oracle,
+            &regions,
+            &ExecutorConfig { window_ratio: 0.3, ..Default::default() },
+        );
+        let mut oracle2 = Oracle { regions: regions.clone(), next: 0 };
+        let hi = run_sequence(
+            &ctx,
+            &mut oracle2,
+            &regions,
+            &ExecutorConfig { window_ratio: 3.0, ..Default::default() },
+        );
+        assert!(hi.hit_rate() >= lo.hit_rate());
+        assert!(hi.io.prefetch_pages_disk >= lo.io.prefetch_pages_disk);
+    }
+}

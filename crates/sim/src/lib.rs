@@ -1,0 +1,21 @@
+//! # scout-sim
+//!
+//! The execution simulator for guided spatial query sequences: the
+//! [`Prefetcher`] abstraction all methods implement, the Figure-2 timeline
+//! executor with simulated disk and prefetch windows, the Figure-10
+//! microbenchmark definitions, and experiment/reporting plumbing.
+
+pub mod context;
+pub mod costs;
+pub mod executor;
+pub mod experiment;
+pub mod prefetcher;
+pub mod report;
+pub mod workloads;
+
+pub use context::SimContext;
+pub use costs::{CpuCostModel, CpuUnits};
+pub use executor::{run_sequence, run_sequences, ExecutorConfig, QueryTrace, SequenceTrace};
+pub use experiment::{aggregate, evaluate, region_lists, AggregateMetrics, TestBed};
+pub use prefetcher::{NoPrefetch, PrefetchPlan, PrefetchRequest, Prefetcher, PredictionStats};
+pub use workloads::Microbenchmark;

@@ -1,0 +1,107 @@
+//! The prefetcher abstraction every method implements (SCOUT, SCOUT-OPT,
+//! and all §2 baselines).
+
+use crate::context::SimContext;
+use crate::costs::CpuUnits;
+use scout_geometry::QueryRegion;
+use scout_index::QueryResult;
+use scout_storage::PageId;
+
+/// What a prefetcher reports after digesting a query result.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionStats {
+    /// CPU work performed for this prediction.
+    pub cpu: CpuUnits,
+    /// Vertices in the prediction graph (SCOUT family; 0 for baselines).
+    pub graph_vertices: usize,
+    /// Edges in the prediction graph.
+    pub graph_edges: usize,
+    /// Connected components ("structures") in the prediction graph.
+    pub graph_components: usize,
+    /// Bytes of prediction state held in memory (graph, queues).
+    pub memory_bytes: usize,
+    /// Size of the candidate structure set after pruning.
+    pub candidates: usize,
+}
+
+/// One prioritized prefetch request.
+#[derive(Debug, Clone)]
+pub enum PrefetchRequest {
+    /// Prefetch every page overlapping a region (resolved via the index).
+    Region(QueryRegion),
+    /// Prefetch explicit pages (ordered-retrieval prefetchers).
+    Pages(Vec<PageId>),
+    /// Overhead pages read to bridge a gap (SCOUT-OPT gap traversal §6.3):
+    /// charged like prefetch I/O but accounted separately.
+    GapPages(Vec<PageId>),
+}
+
+/// The prioritized plan for one prefetch window. The executor consumes
+/// requests in order until the window closes — so requests must be sorted
+/// most-valuable-first (the incremental strategy of §5.1).
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchPlan {
+    /// Requests in descending priority.
+    pub requests: Vec<PrefetchRequest>,
+}
+
+impl PrefetchPlan {
+    /// An empty plan (no prefetching).
+    pub fn empty() -> PrefetchPlan {
+        PrefetchPlan::default()
+    }
+}
+
+/// A prefetching method driving the cache between queries.
+pub trait Prefetcher {
+    /// Display name used in reports (e.g. `"SCOUT"`, `"EWMA (λ = 0.3)"`).
+    fn name(&self) -> String;
+
+    /// Digests the result of the query that just executed and computes the
+    /// prediction for the next one.
+    fn observe(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+    ) -> PredictionStats;
+
+    /// Produces the prioritized prefetch plan for the coming window.
+    fn plan(&mut self, ctx: &SimContext<'_>) -> PrefetchPlan;
+
+    /// Whether prediction overlaps result retrieval (§6.2: SCOUT-OPT
+    /// interleaves graph building with ordered retrieval and finishes
+    /// prediction by the time the result is loaded). When true, prediction
+    /// CPU does not consume the prefetch window.
+    fn overlaps_prediction(&self) -> bool {
+        false
+    }
+
+    /// Clears all history (start of a fresh sequence).
+    fn reset(&mut self);
+}
+
+/// The trivial no-prefetching baseline (the speedup denominator).
+#[derive(Debug, Default, Clone)]
+pub struct NoPrefetch;
+
+impl Prefetcher for NoPrefetch {
+    fn name(&self) -> String {
+        "No Prefetching".to_string()
+    }
+
+    fn observe(
+        &mut self,
+        _ctx: &SimContext<'_>,
+        _region: &QueryRegion,
+        _result: &QueryResult,
+    ) -> PredictionStats {
+        PredictionStats::default()
+    }
+
+    fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
+        PrefetchPlan::empty()
+    }
+
+    fn reset(&mut self) {}
+}

@@ -1,0 +1,18 @@
+//! # scout-storage
+//!
+//! Paged storage substrate: disk pages and layouts, a calibrated simulated
+//! disk with a simulated clock, the LRU prefetch cache, and I/O accounting.
+//!
+//! All I/O in the reproduction is page-granular. Simulated latencies stand
+//! in for the paper's 4-disk SAS stripe (see DESIGN.md §2 for why this
+//! substitution preserves the evaluation's shape).
+
+pub mod cache;
+pub mod disk;
+pub mod page;
+pub mod stats;
+
+pub use cache::PrefetchCache;
+pub use disk::{DiskModel, DiskProfile, SimClock};
+pub use page::{Page, PageId, PageLayout};
+pub use stats::IoStats;

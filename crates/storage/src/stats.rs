@@ -1,0 +1,88 @@
+//! I/O accounting shared by the executor and the prefetchers.
+
+/// Running totals of page I/O, split by purpose.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Result pages served from the prefetch cache.
+    pub result_pages_cache: u64,
+    /// Result pages that had to be read from disk (residual I/O).
+    pub result_pages_disk: u64,
+    /// Pages read from disk during prefetch windows.
+    pub prefetch_pages_disk: u64,
+    /// Extra pages read for gap traversal (SCOUT-OPT overhead I/O).
+    pub gap_pages_disk: u64,
+    /// Simulated µs spent on residual I/O.
+    pub residual_io_us: f64,
+    /// Simulated µs spent reading prefetch pages.
+    pub prefetch_io_us: f64,
+}
+
+impl IoStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> IoStats {
+        IoStats::default()
+    }
+
+    /// Total result pages requested so far.
+    pub fn result_pages_total(&self) -> u64 {
+        self.result_pages_cache + self.result_pages_disk
+    }
+
+    /// Cache-hit rate over result pages — the paper's accuracy metric
+    /// (footnote 1: "Percentage of data read from the prefetch cache rather
+    /// than from disk"). Returns 0 when nothing was read.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.result_pages_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.result_pages_cache as f64 / total as f64
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.result_pages_cache += other.result_pages_cache;
+        self.result_pages_disk += other.result_pages_disk;
+        self.prefetch_pages_disk += other.prefetch_pages_disk;
+        self.gap_pages_disk += other.gap_pages_disk;
+        self.residual_io_us += other.residual_io_us;
+        self.prefetch_io_us += other.prefetch_io_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        assert_eq!(IoStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_fraction() {
+        let s = IoStats { result_pages_cache: 3, result_pages_disk: 1, ..IoStats::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IoStats {
+            result_pages_cache: 1,
+            result_pages_disk: 2,
+            prefetch_pages_disk: 3,
+            gap_pages_disk: 4,
+            residual_io_us: 5.0,
+            prefetch_io_us: 6.0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.result_pages_cache, 2);
+        assert_eq!(a.result_pages_disk, 4);
+        assert_eq!(a.prefetch_pages_disk, 6);
+        assert_eq!(a.gap_pages_disk, 8);
+        assert!((a.residual_io_us - 10.0).abs() < 1e-12);
+        assert!((a.prefetch_io_us - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the LRU prefetch cache: compare against a naive
+//! reference implementation under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use scout_storage::{PageId, PrefetchCache};
+
+/// Naive LRU used as the oracle: a vector ordered MRU-first.
+#[derive(Default)]
+struct OracleLru {
+    cap: usize,
+    pages: Vec<PageId>,
+}
+
+impl OracleLru {
+    fn new(cap: usize) -> Self {
+        OracleLru { cap, pages: Vec::new() }
+    }
+    fn access(&mut self, p: PageId) -> bool {
+        if let Some(pos) = self.pages.iter().position(|&q| q == p) {
+            let v = self.pages.remove(pos);
+            self.pages.insert(0, v);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, p: PageId) -> Option<PageId> {
+        if let Some(pos) = self.pages.iter().position(|&q| q == p) {
+            let v = self.pages.remove(pos);
+            self.pages.insert(0, v);
+            return None;
+        }
+        let evicted = if self.pages.len() >= self.cap { self.pages.pop() } else { None };
+        self.pages.insert(0, p);
+        evicted
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u32),
+    Insert(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..40).prop_map(Op::Access),
+            (0u32..40).prop_map(Op::Insert),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_oracle(cap in 1usize..12, ops in arb_ops()) {
+        let mut cache = PrefetchCache::new(cap);
+        let mut oracle = OracleLru::new(cap);
+        for op in ops {
+            match op {
+                Op::Access(p) => {
+                    let (a, b) = (cache.access(PageId(p)), oracle.access(PageId(p)));
+                    prop_assert_eq!(a, b, "access({}) disagreed", p);
+                }
+                Op::Insert(p) => {
+                    let (a, b) = (cache.insert(PageId(p)), oracle.insert(PageId(p)));
+                    prop_assert_eq!(a, b, "insert({}) evicted differently", p);
+                }
+            }
+            prop_assert!(cache.len() <= cap);
+            prop_assert_eq!(cache.len(), oracle.pages.len());
+            prop_assert_eq!(cache.pages_mru_order(), oracle.pages.clone());
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(cap in 1usize..8, ops in arb_ops()) {
+        let mut cache = PrefetchCache::new(cap);
+        let mut accesses = 0u64;
+        for op in ops {
+            match op {
+                Op::Access(p) => {
+                    cache.access(PageId(p));
+                    accesses += 1;
+                }
+                Op::Insert(p) => {
+                    cache.insert(PageId(p));
+                }
+            }
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for guided-sequence generation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scout_synth::{generate_neurons, generate_sequence, NeuronParams, SequenceParams};
+
+fn dataset() -> scout_synth::Dataset {
+    generate_neurons(
+        &NeuronParams { neuron_count: 8, fiber_steps: 250, ..Default::default() },
+        99,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sequences_have_exact_length_and_volume(
+        length in 1usize..40,
+        volume in 5_000.0..150_000.0f64,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset();
+        let params = SequenceParams {
+            length,
+            volume,
+            ..SequenceParams::sensitivity_default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = generate_sequence(&d, &params, &mut rng);
+        prop_assert_eq!(seq.regions.len(), length);
+        for r in &seq.regions {
+            prop_assert!((r.volume() - volume).abs() < volume * 1e-9);
+        }
+    }
+
+    #[test]
+    fn consecutive_centers_never_exceed_arc_step(
+        seed in 0u64..500,
+        gap in 0.0..30.0f64,
+    ) {
+        // Euclidean distance between consecutive centers is at most the
+        // arc step (equality on straight path stretches).
+        let d = dataset();
+        let params = SequenceParams {
+            length: 15,
+            gap,
+            ..SequenceParams::sensitivity_default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = generate_sequence(&d, &params, &mut rng);
+        let step = params.center_step();
+        for w in seq.regions.windows(2) {
+            let dist = w[0].center().distance(w[1].center());
+            prop_assert!(dist <= step + 1e-6, "centers {dist:.2} apart, step {step:.2}");
+        }
+    }
+
+    #[test]
+    fn centers_stay_near_dataset_bounds(seed in 0u64..500) {
+        let d = dataset();
+        let params = SequenceParams { length: 20, ..SequenceParams::sensitivity_default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = generate_sequence(&d, &params, &mut rng);
+        let slack = d.bounds.extent().x * 0.1;
+        for r in &seq.regions {
+            prop_assert!(
+                d.bounds.expanded(slack).contains_point(r.center()),
+                "center {:?} far outside bounds",
+                r.center()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_sequences_still_have_exact_length(
+        seed in 0u64..300,
+        reset_prob in 0.05..0.6f64,
+    ) {
+        let d = dataset();
+        let params = SequenceParams {
+            length: 18,
+            reset_prob,
+            ..SequenceParams::sensitivity_default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = generate_sequence(&d, &params, &mut rng);
+        prop_assert_eq!(seq.regions.len(), 18);
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration tests of the §4.3 mechanism that gives SCOUT its accuracy:
+//! iterative candidate pruning must converge onto the followed structure.
+
+use scout::prelude::*;
+use scout::sim::run_sequence;
+
+fn neuron_bed(seed: u64) -> TestBed {
+    TestBed::new(generate_neurons(
+        &NeuronParams { neuron_count: 80, ..Default::default() },
+        seed,
+    ))
+}
+
+#[test]
+fn candidate_set_collapses_along_the_sequence() {
+    let bed = neuron_bed(31);
+    let params = SequenceParams { length: 20, ..SequenceParams::sensitivity_default() };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 1, 32));
+    let mut scout = Scout::with_defaults();
+    let trace = run_sequence(&bed.ctx_rtree(), &mut scout, &regions[0], &ExecutorConfig::default());
+
+    let candidates: Vec<usize> =
+        trace.queries.iter().map(|q| q.prediction.candidates).collect();
+    // First query sees many structures; by mid-sequence pruning should have
+    // reduced the set substantially; the median of the tail must be tiny.
+    let first = candidates[0];
+    let mut tail: Vec<usize> = candidates[8..].to_vec();
+    tail.sort_unstable();
+    let median_tail = tail[tail.len() / 2];
+    assert!(first >= 5, "first query should see several structures: {candidates:?}");
+    assert!(
+        median_tail <= 4,
+        "pruning failed to converge: {candidates:?}"
+    );
+}
+
+#[test]
+fn prediction_work_decreases_after_convergence() {
+    // Figure 16's mechanism: once the candidate set is small, the per-
+    // element traversal shrinks.
+    let bed = neuron_bed(33);
+    let params = SequenceParams { length: 10, ..SequenceParams::sensitivity_default() };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 4, 34));
+    let mut scout = Scout::with_defaults();
+
+    let mut early = 0.0;
+    let mut late = 0.0;
+    for rs in &regions {
+        let trace = run_sequence(&bed.ctx_rtree(), &mut scout, rs, &ExecutorConfig::default());
+        let per_elem: Vec<f64> = trace
+            .queries
+            .iter()
+            .map(|q| q.prediction_us / q.result_objects.max(1) as f64)
+            .collect();
+        early += per_elem[1]; // skip query 0 (reset, full traversal)
+        late += per_elem[per_elem.len() - 1];
+    }
+    assert!(
+        late <= early * 1.5,
+        "late-sequence prediction should not grow: early {early:.4} late {late:.4}"
+    );
+}
+
+#[test]
+fn graph_stats_are_populated() {
+    let bed = neuron_bed(35);
+    let params = SequenceParams { length: 6, ..SequenceParams::sensitivity_default() };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 1, 36));
+    let mut scout = Scout::with_defaults();
+    let trace = run_sequence(&bed.ctx_rtree(), &mut scout, &regions[0], &ExecutorConfig::default());
+    for q in &trace.queries {
+        if q.result_objects > 0 {
+            assert!(q.prediction.graph_vertices == q.result_objects);
+            assert!(q.prediction.graph_components >= 1);
+            assert!(q.prediction.memory_bytes > 0);
+            assert!(q.graph_build_us > 0.0);
+        }
+    }
+}

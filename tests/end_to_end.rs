@@ -1,0 +1,174 @@
+//! End-to-end integration tests across all crates: datasets → indexes →
+//! guided sequences → executor → metrics, checking the paper's headline
+//! qualitative claims at a small scale.
+
+use scout::prelude::*;
+
+fn small_bed(seed: u64) -> TestBed {
+    let dataset = generate_neurons(
+        &NeuronParams { neuron_count: 60, ..Default::default() },
+        seed,
+    );
+    TestBed::new(dataset)
+}
+
+fn workload(bed: &TestBed, length: usize, volume: f64, gap: f64, n: usize, seed: u64) -> Vec<Vec<QueryRegion>> {
+    let params = SequenceParams {
+        length,
+        volume,
+        aspect: Aspect::Cube,
+        gap,
+        overlap_frac: 0.1,
+        reset_prob: 0.0,
+    };
+    region_lists(&generate_sequences(&bed.dataset, &params, n, seed))
+}
+
+#[test]
+fn scout_beats_trajectory_extrapolation_on_neuron_tissue() {
+    let bed = small_bed(1);
+    let regions = workload(&bed, 20, 80_000.0, 0.0, 4, 10);
+    let config = ExecutorConfig::default();
+
+    let mut scout = Scout::with_defaults();
+    let s = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &config);
+    let mut sl = StraightLine::new();
+    let l = evaluate(&bed.ctx_rtree(), &mut sl, &regions, &config);
+    let mut ewma = Ewma::paper_best();
+    let e = evaluate(&bed.ctx_rtree(), &mut ewma, &regions, &config);
+
+    assert!(
+        s.hit_rate > l.hit_rate && s.hit_rate > e.hit_rate,
+        "SCOUT {:.3} must beat straight line {:.3} and EWMA {:.3}",
+        s.hit_rate,
+        l.hit_rate,
+        e.hit_rate
+    );
+    assert!(s.speedup > 1.5, "SCOUT speedup {:.2} too small", s.speedup);
+}
+
+#[test]
+fn every_prefetcher_helps_over_no_prefetching() {
+    let bed = small_bed(2);
+    let regions = workload(&bed, 15, 80_000.0, 0.0, 3, 11);
+    let config = ExecutorConfig::default();
+    let mut prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+        Box::new(Scout::with_defaults()),
+        Box::new(StraightLine::new()),
+        Box::new(Ewma::paper_best()),
+        Box::new(Polynomial::new(2)),
+        Box::new(Velocity::new()),
+        Box::new(HilbertPrefetch::default()),
+        Box::new(Layered::default()),
+    ];
+    for p in prefetchers.iter_mut() {
+        let m = evaluate(&bed.ctx_rtree(), p.as_mut(), &regions, &config);
+        assert!(
+            m.speedup >= 1.0,
+            "{} slowed execution down: {:.3}",
+            m.name,
+            m.speedup
+        );
+        assert!((0.0..=1.0).contains(&m.hit_rate), "{} hit rate {}", m.name, m.hit_rate);
+    }
+}
+
+#[test]
+fn scout_opt_wins_with_gaps() {
+    let bed = small_bed(3);
+    let regions = workload(&bed, 20, 30_000.0, 20.0, 4, 12);
+    let config = ExecutorConfig { window_ratio: 1.2, ..Default::default() };
+
+    let mut scout = Scout::with_defaults();
+    let s = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &config);
+    let mut opt = ScoutOpt::with_defaults();
+    let o = evaluate(&bed.ctx_flat(), &mut opt, &regions, &config);
+
+    assert!(
+        o.hit_rate >= s.hit_rate - 0.02,
+        "SCOUT-OPT {:.3} should be at least on par with SCOUT {:.3} under gaps",
+        o.hit_rate,
+        s.hit_rate
+    );
+    assert!(o.gap_pages > 0, "gap traversal never fired");
+}
+
+#[test]
+fn hit_rate_grows_with_window_ratio() {
+    let bed = small_bed(4);
+    let regions = workload(&bed, 15, 80_000.0, 0.0, 4, 13);
+    let mut rates = Vec::new();
+    for r in [0.2, 1.0, 2.5] {
+        let config = ExecutorConfig { window_ratio: r, ..Default::default() };
+        let mut scout = Scout::with_defaults();
+        rates.push(evaluate(&bed.ctx_rtree(), &mut scout, &regions, &config).hit_rate);
+    }
+    assert!(
+        rates[0] < rates[2],
+        "hit rate should grow with the window: {rates:?}"
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let bed = small_bed(5);
+    let regions = workload(&bed, 12, 80_000.0, 0.0, 2, 14);
+    let config = ExecutorConfig::default();
+    let run = || {
+        let mut scout = Scout::with_defaults();
+        let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &config);
+        (m.hit_rate, m.response_us, m.prefetch_pages)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn no_prefetch_speedup_is_exactly_one() {
+    let bed = small_bed(6);
+    let regions = workload(&bed, 10, 80_000.0, 0.0, 2, 15);
+    let mut none = NoPrefetch;
+    let m = evaluate(&bed.ctx_rtree(), &mut none, &regions, &ExecutorConfig::default());
+    assert!((m.speedup - 1.0).abs() < 1e-12);
+    assert_eq!(m.hit_rate, 0.0);
+}
+
+#[test]
+fn explicit_adjacency_path_works_end_to_end() {
+    // Roads carry explicit adjacency; SCOUT must run on it (§4.1).
+    let dataset = generate_roads(&RoadParams { grid_n: 24, ..Default::default() }, 21);
+    assert!(dataset.adjacency.is_some());
+    let bed = TestBed::new(dataset);
+    let volume = 400.0 / bed.dataset.density();
+    let params = SequenceParams {
+        length: 15,
+        volume,
+        aspect: Aspect::Cube,
+        gap: 0.0,
+        overlap_frac: 0.1,
+        reset_prob: 0.0,
+    };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 3, 22));
+    let mut scout = Scout::with_defaults();
+    let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &ExecutorConfig::default());
+    assert!(m.hit_rate > 0.2, "SCOUT on roads: {:.3}", m.hit_rate);
+}
+
+#[test]
+fn mesh_dataset_path_works_end_to_end() {
+    let dataset = generate_lung(&LungParams { generations: 5, ..Default::default() }, 23);
+    assert!(dataset.adjacency.is_some());
+    let bed = TestBed::new(dataset);
+    let volume = 400.0 / bed.dataset.density();
+    let params = SequenceParams {
+        length: 12,
+        volume,
+        aspect: Aspect::Cube,
+        gap: 0.0,
+        overlap_frac: 0.1,
+        reset_prob: 0.0,
+    };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 3, 24));
+    let mut scout = Scout::with_defaults();
+    let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &ExecutorConfig::default());
+    assert!(m.hit_rate > 0.2, "SCOUT on lung mesh: {:.3}", m.hit_rate);
+}

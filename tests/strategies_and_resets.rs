@@ -1,0 +1,97 @@
+//! Integration tests of the §5.2 strategy claims and §4.3 reset handling.
+
+use scout::prelude::*;
+
+fn bed(seed: u64) -> TestBed {
+    TestBed::new(generate_neurons(
+        &NeuronParams { neuron_count: 60, ..Default::default() },
+        seed,
+    ))
+}
+
+#[test]
+fn deep_prefetching_has_higher_variance_than_broad() {
+    // §5.2.1: deep "predicts correctly with a probability 1/|C|" and "the
+    // prefetch accuracy varies widely"; §5.2.2: broad's "variation in
+    // prediction accuracy decreases".
+    let bed = bed(41);
+    let params = SequenceParams { length: 15, ..SequenceParams::sensitivity_default() };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 8, 42));
+    let config = ExecutorConfig::default();
+
+    let mut deep = Scout::new(ScoutConfig { strategy: Strategy::Deep, ..Default::default() });
+    let d = evaluate(&bed.ctx_rtree(), &mut deep, &regions, &config);
+    let mut broad = Scout::new(ScoutConfig { strategy: Strategy::Broad, ..Default::default() });
+    let b = evaluate(&bed.ctx_rtree(), &mut broad, &regions, &config);
+
+    assert!(
+        b.hit_rate >= d.hit_rate - 0.05,
+        "broad {:.3} should not trail deep {:.3} by much",
+        b.hit_rate,
+        d.hit_rate
+    );
+    // Variance claim (allow equality at tiny scales, but deep must not be
+    // *less* spread by a wide margin).
+    assert!(
+        d.hit_rate_std >= b.hit_rate_std * 0.5,
+        "deep std {:.4} vs broad std {:.4}",
+        d.hit_rate_std,
+        b.hit_rate_std
+    );
+}
+
+#[test]
+fn scout_survives_user_resets() {
+    // §4.3: "In case of a reset ... the candidate set again contains all
+    // spatial structures from the last range query result." SCOUT must
+    // keep working (degraded, not broken) when the user keeps abandoning
+    // structures.
+    let bed = bed(43);
+    let steady = SequenceParams { length: 20, ..SequenceParams::sensitivity_default() };
+    let churning = SequenceParams { reset_prob: 0.25, ..steady };
+
+    let steady_regions = region_lists(&generate_sequences(&bed.dataset, &steady, 4, 44));
+    let churn_regions = region_lists(&generate_sequences(&bed.dataset, &churning, 4, 44));
+    let config = ExecutorConfig::default();
+
+    let mut scout = Scout::with_defaults();
+    let s = evaluate(&bed.ctx_rtree(), &mut scout, &steady_regions, &config);
+    let mut scout2 = Scout::with_defaults();
+    let c = evaluate(&bed.ctx_rtree(), &mut scout2, &churn_regions, &config);
+
+    assert!(s.hit_rate > c.hit_rate, "resets should hurt: {:.3} vs {:.3}", s.hit_rate, c.hit_rate);
+    assert!(c.hit_rate > 0.15, "SCOUT should survive resets, got {:.3}", c.hit_rate);
+    assert!(c.speedup >= 1.0);
+}
+
+#[test]
+fn reset_sequences_have_jumps() {
+    let bed = bed(45);
+    let params = SequenceParams {
+        length: 30,
+        reset_prob: 0.3,
+        ..SequenceParams::sensitivity_default()
+    };
+    let seq = &generate_sequences(&bed.dataset, &params, 1, 46)[0];
+    assert_eq!(seq.regions.len(), 30);
+    let step = params.center_step();
+    let jumps = seq
+        .regions
+        .windows(2)
+        .filter(|w| w[0].center().distance(w[1].center()) > step * 3.0)
+        .count();
+    assert!(jumps >= 1, "expected at least one reset jump");
+}
+
+#[test]
+fn broad_equal_matches_paper_equal_split_semantics() {
+    // BroadEqual must still work end to end and stay in the same accuracy
+    // neighborhood as ranked Broad.
+    let bed = bed(47);
+    let params = SequenceParams { length: 15, ..SequenceParams::sensitivity_default() };
+    let regions = region_lists(&generate_sequences(&bed.dataset, &params, 4, 48));
+    let config = ExecutorConfig::default();
+    let mut eq = Scout::new(ScoutConfig { strategy: Strategy::BroadEqual, ..Default::default() });
+    let m = evaluate(&bed.ctx_rtree(), &mut eq, &regions, &config);
+    assert!(m.hit_rate > 0.3, "BroadEqual collapsed: {:.3}", m.hit_rate);
+}
