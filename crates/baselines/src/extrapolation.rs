@@ -8,9 +8,7 @@
 use crate::common::{plan_at_predicted_center, CenterHistory};
 use scout_geometry::{QueryRegion, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{
-    CpuUnits, PrefetchPlan, PredictionStats, Prefetcher, SimContext,
-};
+use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, Prefetcher, SimContext};
 
 /// Straight-line extrapolation from the last two query positions [26]:
 /// `ĉ = cₙ + (cₙ − cₙ₋₁)`.
@@ -44,14 +42,15 @@ impl Prefetcher for StraightLine {
         _result: &QueryResult,
     ) -> PredictionStats {
         self.history.push(region);
-        PredictionStats { cpu: CpuUnits { extra_us: 0.5, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 0.5, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
         match (self.history.last_region(), self.history.last_delta()) {
-            (Some(last), Some(delta)) => {
-                plan_at_predicted_center(last, last.center() + delta)
-            }
+            (Some(last), Some(delta)) => plan_at_predicted_center(last, last.center() + delta),
             _ => PrefetchPlan::empty(),
         }
     }
@@ -109,7 +108,10 @@ impl Prefetcher for Polynomial {
         _result: &QueryResult,
     ) -> PredictionStats {
         self.history.push(region);
-        PredictionStats { cpu: CpuUnits { extra_us: 1.0, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 1.0, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -163,7 +165,10 @@ impl Prefetcher for Velocity {
         _result: &QueryResult,
     ) -> PredictionStats {
         self.history.push(region);
-        PredictionStats { cpu: CpuUnits { extra_us: 0.8, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 0.8, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -227,7 +232,10 @@ impl Prefetcher for Ewma {
                 None => delta,
             });
         }
-        PredictionStats { cpu: CpuUnits { extra_us: 0.6, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 0.6, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -280,11 +288,8 @@ mod tests {
     #[test]
     fn straight_line_continues_linear_motion() {
         let mut p = StraightLine::new();
-        let got = observe_centers(
-            &mut p,
-            &[Vec3::new(0.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)],
-        )
-        .unwrap();
+        let got =
+            observe_centers(&mut p, &[Vec3::new(0.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)]).unwrap();
         assert!((got - Vec3::new(10.0, 0.0, 0.0)).norm() < 1e-9);
     }
 
@@ -300,11 +305,7 @@ mod tests {
         let mut p = Polynomial::new(2);
         let got = observe_centers(
             &mut p,
-            &[
-                Vec3::new(0.0, 0.0, 0.0),
-                Vec3::new(1.0, 1.0, 0.0),
-                Vec3::new(2.0, 4.0, 0.0),
-            ],
+            &[Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 1.0, 0.0), Vec3::new(2.0, 4.0, 0.0)],
         )
         .unwrap();
         assert!((got - Vec3::new(3.0, 9.0, 0.0)).norm() < 1e-9, "got {got:?}");
@@ -330,7 +331,7 @@ mod tests {
             &mut p,
             &[
                 Vec3::new(0.0, 0.0, 0.0),
-                Vec3::new(10.0, 0.0, 0.0), // v = (10,0,0)
+                Vec3::new(10.0, 0.0, 0.0),  // v = (10,0,0)
                 Vec3::new(10.0, 10.0, 0.0), // delta (0,10,0); v = (5,5,0)
             ],
         )
@@ -340,11 +341,7 @@ mod tests {
 
     #[test]
     fn ewma_lambda_one_equals_straight_line() {
-        let pts = [
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(3.0, 1.0, 0.0),
-            Vec3::new(9.0, 5.0, 0.0),
-        ];
+        let pts = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(3.0, 1.0, 0.0), Vec3::new(9.0, 5.0, 0.0)];
         let mut e = Ewma::new(1.0);
         let mut s = StraightLine::new();
         let ge = observe_centers(&mut e, &pts).unwrap();
@@ -358,11 +355,7 @@ mod tests {
         let mut p = Velocity::new();
         let got = observe_centers(
             &mut p,
-            &[
-                Vec3::new(0.0, 0.0, 0.0),
-                Vec3::new(2.0, 0.0, 0.0),
-                Vec3::new(6.0, 0.0, 0.0),
-            ],
+            &[Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0), Vec3::new(6.0, 0.0, 0.0)],
         )
         .unwrap();
         assert!((got - Vec3::new(9.0, 0.0, 0.0)).norm() < 1e-9, "got {got:?}");

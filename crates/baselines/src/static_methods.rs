@@ -4,9 +4,7 @@
 use scout_geometry::hilbert::{hilbert_coords_3d, hilbert_index_3d};
 use scout_geometry::{QueryRegion, UniformGrid, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{
-    CpuUnits, PrefetchPlan, PrefetchRequest, PredictionStats, Prefetcher, SimContext,
-};
+use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, SimContext};
 
 /// Hilbert-Prefetch [22]: overlays a grid on the dataset, assigns each cell
 /// its Hilbert value, and prefetches cells whose values neighbor the value
@@ -24,7 +22,7 @@ impl HilbertPrefetch {
     /// Hilbert prefetcher with grid `2^order` cells per axis, requesting up
     /// to `fan` neighboring cells.
     pub fn new(order: u32, fan: usize) -> HilbertPrefetch {
-        assert!(order >= 1 && order <= scout_geometry::hilbert::MAX_ORDER_3D);
+        assert!((1..=scout_geometry::hilbert::MAX_ORDER_3D).contains(&order));
         HilbertPrefetch { order, fan, last_center: None }
     }
 }
@@ -48,7 +46,10 @@ impl Prefetcher for HilbertPrefetch {
         _result: &QueryResult,
     ) -> PredictionStats {
         self.last_center = Some(region.center());
-        PredictionStats { cpu: CpuUnits { extra_us: 0.5, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 0.5, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -124,7 +125,10 @@ impl Prefetcher for Layered {
         _result: &QueryResult,
     ) -> PredictionStats {
         self.last_center = Some(region.center());
-        PredictionStats { cpu: CpuUnits { extra_us: 0.3, ..Default::default() }, ..Default::default() }
+        PredictionStats {
+            cpu: CpuUnits { extra_us: 0.3, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     fn plan(&mut self, ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -148,12 +152,7 @@ impl Prefetcher for Layered {
             }
         }
         // Face neighbors before edge/corner neighbors (closer data first).
-        cells.sort_by_key(|n| {
-            n.iter()
-                .zip(c.iter())
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum::<u32>()
-        });
+        cells.sort_by_key(|n| n.iter().zip(c.iter()).map(|(&a, &b)| a.abs_diff(b)).sum::<u32>());
         let requests = cells
             .into_iter()
             .map(|n| PrefetchRequest::Region(QueryRegion::from_aabb(grid.cell_aabb(n))))

@@ -33,8 +33,7 @@ fn main() {
         ("Segment (axis) — paper default", Simplification::Segment),
         ("MBR (bounding box)", Simplification::Mbr),
     ] {
-        let mut scout =
-            Scout::new(ScoutConfig { simplification, ..ScoutConfig::default() });
+        let mut scout = Scout::new(ScoutConfig { simplification, ..ScoutConfig::default() });
         let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec);
         t.row([
             label.to_string(),

@@ -27,8 +27,7 @@ fn main() {
             ("Broad (plausibility-ordered)", Strategy::Broad),
             ("Broad (equal split, §5.2.2)", Strategy::BroadEqual),
         ] {
-            let mut scout =
-                Scout::new(ScoutConfig { strategy, ..ScoutConfig::default() });
+            let mut scout = Scout::new(ScoutConfig { strategy, ..ScoutConfig::default() });
             let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec);
             t.row([label.to_string(), pct(m.hit_rate), speedup(m.speedup)]);
         }
@@ -41,10 +40,8 @@ fn main() {
     let exec = ExecutorConfig { window_ratio: ADHOC_PATTERN.window_ratio, ..Default::default() };
     let mut t = Table::new(["Max Locations d", "Hit Rate [%]"]);
     for d in [1usize, 2, 4, 8, 16] {
-        let mut scout = Scout::new(ScoutConfig {
-            max_prefetch_locations: d,
-            ..ScoutConfig::default()
-        });
+        let mut scout =
+            Scout::new(ScoutConfig { max_prefetch_locations: d, ..ScoutConfig::default() });
         let m = evaluate(&bed.ctx_rtree(), &mut scout, &regions, &exec);
         t.row([d.to_string(), pct(m.hit_rate)]);
     }

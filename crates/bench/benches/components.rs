@@ -20,9 +20,7 @@ fn bench_components(c: &mut Criterion) {
     let region = QueryRegion::new(center, 80_000.0, Aspect::Cube);
     let result = rtree.range_query(objects, &region);
 
-    c.bench_function("str_pack_60k", |b| {
-        b.iter(|| black_box(str_pack(objects, 87).page_count()))
-    });
+    c.bench_function("str_pack_60k", |b| b.iter(|| black_box(str_pack(objects, 87).page_count())));
 
     c.bench_function("rtree_bulk_load_60k", |b| {
         b.iter(|| black_box(RTree::bulk_load_with_capacity(objects, 87).height()))

@@ -28,7 +28,7 @@ fn main() {
     for volume in volumes {
         let params = SequenceParams { volume, ..SequenceParams::sensitivity_default() };
         let mut roster = figure3_roster();
-        let results = run_roster(&bed, &mut roster, &params, n_seq, 1.0, 0xF16_03);
+        let results = run_roster(&bed, &mut roster, &params, n_seq, 1.0, 0xF1603);
         let mut row = vec![format!("{}k", volume / 1000.0)];
         row.extend(results.iter().map(|m| pct(m.hit_rate)));
         table.row(row);

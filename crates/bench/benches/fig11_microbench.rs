@@ -44,7 +44,7 @@ fn main() {
     for bench in figure11_benchmarks() {
         let mut roster = figure11_roster();
         let results =
-            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF16_11);
+            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF1611);
         let mut acc_row = vec![bench.label.to_string()];
         acc_row.extend(results.iter().map(|m| pct(m.hit_rate)));
         acc.row(acc_row);

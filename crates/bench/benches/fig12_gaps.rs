@@ -29,7 +29,7 @@ fn main() {
     for bench in figure12_benchmarks() {
         let mut roster = roster_factory();
         let results =
-            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF16_12);
+            run_roster(&bed, &mut roster, &bench.sequence, n_seq, bench.window_ratio, 0xF1612);
         let mut acc_row = vec![bench.label.to_string()];
         acc_row.extend(results.iter().map(|m| pct(m.hit_rate)));
         acc.row(acc_row);

@@ -91,10 +91,7 @@ fn main() {
             let o = evaluate(&bed.ctx_flat(), &mut opt, &regions, &exec).hit_rate;
             t.row([format!("{gap}"), pct(s), pct(o)]);
         }
-        println!(
-            "-- (f) gap distance (paper: both fall, SCOUT-OPT well above) --\n{}",
-            t.render()
-        );
+        println!("-- (f) gap distance (paper: both fall, SCOUT-OPT well above) --\n{}", t.render());
     }
 
     // (b) Dataset density: 50..450 (thousand objects, the paper's

@@ -25,7 +25,8 @@ fn main() {
     for (name, is_opt) in [("SCOUT", false), ("SCOUT-OPT", true)] {
         let mut all = Vec::new();
         for (i, volume) in [20_000.0, 50_000.0, 80_000.0, 120_000.0].iter().enumerate() {
-            let params = SequenceParams { volume: *volume, ..SequenceParams::sensitivity_default() };
+            let params =
+                SequenceParams { volume: *volume, ..SequenceParams::sensitivity_default() };
             let seqs = generate_sequences(&bed.dataset, &params, n_seq / 3 + 1, 0xF15 + i as u64);
             let regions = region_lists(&seqs);
             let exec = ExecutorConfig::default();
@@ -70,22 +71,15 @@ fn main() {
     rows.sort_by_key(|(objects, ..)| *objects);
     let mut t = Table::new(["# Query Results [x10^4]", "Build Time [s]", "Method"]);
     for (objects, build, _vol, name) in rows.iter().step_by(rows.len() / 24 + 1) {
-        t.row([
-            format!("{:.1}", *objects as f64 / 1e4),
-            format!("{build:.3}"),
-            name.clone(),
-        ]);
+        t.row([format!("{:.1}", *objects as f64 / 1e4), format!("{build:.3}"), name.clone()]);
     }
     println!("\n{}", t.render());
 
     // §8.2 memory ratios (mean over volume settings).
     println!("-- prediction memory relative to result size (paper: 24 % vs 6 %) --");
     for name in ["SCOUT", "SCOUT-OPT"] {
-        let vals: Vec<f64> = mem_ratios
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            mem_ratios.iter().filter(|(n, _)| n == name).map(|(_, v)| *v).collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         println!("{name}: {:.1} %", mean * 100.0);
     }

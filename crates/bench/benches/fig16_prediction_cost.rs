@@ -46,11 +46,7 @@ fn main() {
     let o = per_position(&opt_traces);
     let mut t = Table::new(["Query # in Sequence", "SCOUT [µs/element]", "SCOUT-OPT [µs/element]"]);
     for i in 0..10 {
-        t.row([
-            (i + 1).to_string(),
-            format!("{:.4}", s[i]),
-            format!("{:.4}", o[i]),
-        ]);
+        t.row([(i + 1).to_string(), format!("{:.4}", s[i]), format!("{:.4}", o[i])]);
     }
     println!("{}", t.render());
     println!("(paper: per-element prediction time decreases along the sequence; SCOUT-OPT lower)");

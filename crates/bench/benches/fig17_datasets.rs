@@ -13,7 +13,9 @@
 //! queries structures bifurcate within the query and SCOUT wins on every
 //! dataset.
 
-use scout_bench::{arterial_dataset, figure11_roster, lung_dataset, road_dataset, run_roster, sequences};
+use scout_bench::{
+    arterial_dataset, figure11_roster, lung_dataset, road_dataset, run_roster, sequences,
+};
 use scout_sim::report::{pct, Table};
 use scout_sim::TestBed;
 use scout_synth::{Dataset, SequenceParams};
@@ -31,7 +33,8 @@ fn main() {
         ("North America Road Network", road_dataset()),
     ];
 
-    for (panel, factor) in [("(a) small volume queries", 250.0), ("(b) large volume queries", 2500.0)]
+    for (panel, factor) in
+        [("(a) small volume queries", 250.0), ("(b) large volume queries", 2500.0)]
     {
         let names: Vec<String> = figure11_roster().iter().map(|p| p.name()).collect();
         let mut header = vec!["Dataset".to_string()];
@@ -40,10 +43,7 @@ fn main() {
         for (label, dataset) in &datasets {
             let bed = TestBed::new(dataset.clone());
             let volume = query_volume(&bed.dataset, factor);
-            let params = SequenceParams {
-                volume,
-                ..SequenceParams::sensitivity_default()
-            };
+            let params = SequenceParams { volume, ..SequenceParams::sensitivity_default() };
             let mut roster = figure11_roster();
             let results = run_roster(&bed, &mut roster, &params, n_seq, 1.0, 0xF17);
             let mut row = vec![label.to_string()];

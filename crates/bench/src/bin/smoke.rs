@@ -21,11 +21,7 @@ fn main() {
     );
     let t1 = Instant::now();
     let bed = TestBed::new(dataset);
-    eprintln!(
-        "indexes: {} pages in {:.0?}",
-        bed.rtree.layout().page_count(),
-        t1.elapsed()
-    );
+    eprintln!("indexes: {} pages in {:.0?}", bed.rtree.layout().page_count(), t1.elapsed());
 
     let bench = scout_sim::workloads::ADHOC_PATTERN;
     let t2 = Instant::now();
@@ -47,12 +43,7 @@ fn main() {
     // Workload shape diagnostics.
     {
         use scout_sim::{run_sequence, ExecutorConfig, NoPrefetch};
-        let seqs = scout_synth::generate_sequences(
-            &bed.dataset,
-            &bench.sequence,
-            2,
-            7,
-        );
+        let seqs = scout_synth::generate_sequences(&bed.dataset, &bench.sequence, 2, 7);
         let ctx = bed.ctx_rtree();
         let mut np = NoPrefetch;
         let trace = run_sequence(&ctx, &mut np, &seqs[0].regions, &ExecutorConfig::default());
@@ -65,11 +56,14 @@ fn main() {
         let mut scout = scout_core::Scout::with_defaults();
         let strace = run_sequence(&ctx, &mut scout, &seqs[0].regions, &ExecutorConfig::default());
         let cands: Vec<usize> = strace.queries.iter().map(|q| q.prediction.candidates).collect();
-        let comps: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_components).collect();
+        let comps: Vec<usize> =
+            strace.queries.iter().map(|q| q.prediction.graph_components).collect();
         eprintln!("SCOUT components/query: {comps:?}");
-        let verts: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_vertices).collect();
+        let verts: Vec<usize> =
+            strace.queries.iter().map(|q| q.prediction.graph_vertices).collect();
         let edges: Vec<usize> = strace.queries.iter().map(|q| q.prediction.graph_edges).collect();
-        let hits: Vec<String> = strace.queries.iter().map(|q| format!("{:.0}", q.hit_rate()*100.0)).collect();
+        let hits: Vec<String> =
+            strace.queries.iter().map(|q| format!("{:.0}", q.hit_rate() * 100.0)).collect();
         eprintln!("SCOUT candidates/query: {cands:?}");
         eprintln!("SCOUT vertices[0..5]: {:?} edges[0..5]: {:?}", &verts[..5], &edges[..5]);
         eprintln!("SCOUT per-query hit%: {hits:?}");

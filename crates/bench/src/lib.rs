@@ -22,10 +22,7 @@ use scout_synth::{
 /// Reads the global scale factor from `SCOUT_BENCH_SCALE` (scales the
 /// number of sequences per experiment; default 1.0).
 pub fn scale() -> f64 {
-    std::env::var("SCOUT_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("SCOUT_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Reads the dataset scale factor from `SCOUT_BENCH_DATASET_SCALE`.
@@ -35,18 +32,12 @@ pub fn scale() -> f64 {
 /// this at 1.0 for paper-comparable numbers; lower it only for quick
 /// smoke runs.
 pub fn dataset_scale() -> f64 {
-    std::env::var("SCOUT_BENCH_DATASET_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("SCOUT_BENCH_DATASET_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Reads the global seed from `SCOUT_BENCH_SEED`.
 pub fn seed() -> u64 {
-    std::env::var("SCOUT_BENCH_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    std::env::var("SCOUT_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
 /// Number of sequences per experiment, scaled (paper: 30 for Figure 11/12,

@@ -187,16 +187,12 @@ mod tests {
             seg_object(2, Vec3::new(2.0, 2.0, 2.0), Vec3::new(3.0, 3.0, 3.0)),
         ];
         let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
-        let (g, _) = ResultGraph::grid_hash(
-            &objects,
-            &ids,
-            &region(),
-            32_768,
-            Simplification::Segment,
-        );
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 32_768, Simplification::Segment);
         let (comp, n) = g.components();
         assert_eq!(n, 2);
-        let (all, steps) = find_exits(&objects, &g, &comp, &region(), None, Simplification::Segment);
+        let (all, steps) =
+            find_exits(&objects, &g, &comp, &region(), None, Simplification::Segment);
         assert_eq!(all.len(), 1);
         assert!(steps > 0);
         // Filtering to the inside component finds nothing.

@@ -8,9 +8,7 @@
 //! When the guiding structure is explicit (§4.1, polygon meshes and road
 //! networks) the dataset's own adjacency is used directly.
 
-use scout_geometry::{
-    ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid,
-};
+use scout_geometry::{ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid};
 use scout_sim::CpuUnits;
 use std::collections::HashMap;
 
@@ -69,7 +67,9 @@ impl ResultGraph {
         let adj_bytes: usize = self
             .adjacency
             .iter()
-            .map(|l| l.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>())
+            .map(|l| {
+                l.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>()
+            })
             .sum();
         // HashMap entries: key + value + bucket overhead (~1.6x load factor).
         let map_bytes = self.vertex_of.len() * (std::mem::size_of::<(ObjectId, VertexId)>() * 2);

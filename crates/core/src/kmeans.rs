@@ -33,12 +33,7 @@ pub fn kmeans(points: &[Vec3], k: usize, seed: u64, iterations: usize) -> Vec<Cl
     while centroids.len() < k {
         let d2: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| p.distance_sq(*c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| p.distance_sq(*c)).fold(f64::INFINITY, f64::min))
             .collect();
         let total: f64 = d2.iter().sum();
         if total <= 0.0 {
@@ -90,10 +85,8 @@ pub fn kmeans(points: &[Vec3], k: usize, seed: u64, iterations: usize) -> Vec<Cl
         }
     }
 
-    let mut clusters: Vec<Cluster> = centroids
-        .iter()
-        .map(|&centroid| Cluster { centroid, members: Vec::new() })
-        .collect();
+    let mut clusters: Vec<Cluster> =
+        centroids.iter().map(|&centroid| Cluster { centroid, members: Vec::new() }).collect();
     for (i, &a) in assignment.iter().enumerate() {
         clusters[a].members.push(i);
     }

@@ -22,9 +22,7 @@ use crate::prefetcher::Scout;
 use scout_geometry::intersect::segment_aabb_distance;
 use scout_geometry::{ObjectId, QueryRegion, Segment, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{
-    CpuUnits, PrefetchPlan, PrefetchRequest, PredictionStats, Prefetcher, SimContext,
-};
+use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, SimContext};
 use scout_storage::PageId;
 use std::collections::{HashSet, VecDeque};
 
@@ -140,6 +138,9 @@ impl ScoutOpt {
     /// through the gap (within a corridor around the extrapolated axis,
     /// bounded by `budget` pages). Returns the crawled pages and the
     /// refined prediction (point + direction) if the trail was followed.
+    // Internal helper on SCOUT-OPT's hot path; the parameters are the
+    // traversal state, not a bundleable config.
+    #[allow(clippy::too_many_arguments)]
     fn traverse_gap(
         &self,
         ctx: &SimContext<'_>,
@@ -160,8 +161,7 @@ impl ScoutOpt {
         let corridor = self.config.gap_corridor_frac * side;
         let axis = Segment::new(exit.point, extrapolate(exit, gap + side * 0.5));
 
-        let Some(seed) = ordered.seed_page(extrapolate(exit, corridor.min(gap).max(1e-6)))
-        else {
+        let Some(seed) = ordered.seed_page(extrapolate(exit, corridor.min(gap).max(1e-6))) else {
             return (Vec::new(), None);
         };
         let mut visited: HashSet<PageId> = HashSet::new();
@@ -259,8 +259,8 @@ impl Prefetcher for ScoutOpt {
         if gap > 0.05 * side && !self.inner.last_locations.is_empty() {
             let mut units = CpuUnits::default();
             let result_pages: HashSet<PageId> = result.pages.iter().copied().collect();
-            let total_budget = ((self.config.gap_io_budget_frac * result.pages.len() as f64)
-                .ceil() as usize)
+            let total_budget = ((self.config.gap_io_budget_frac * result.pages.len() as f64).ceil()
+                as usize)
                 .max(1);
             let per_exit = (total_budget / self.inner.last_locations.len()).max(1);
 
@@ -269,15 +269,8 @@ impl Prefetcher for ScoutOpt {
             let mut fallback: Vec<Exit> = Vec::new();
             let locations = self.inner.last_locations.clone();
             for exit in &locations {
-                let (pages, refined_prediction) = self.traverse_gap(
-                    ctx,
-                    exit,
-                    gap,
-                    side,
-                    &result_pages,
-                    per_exit,
-                    &mut units,
-                );
+                let (pages, refined_prediction) =
+                    self.traverse_gap(ctx, exit, gap, side, &result_pages, per_exit, &mut units);
                 gap_pages.extend(pages);
                 match refined_prediction {
                     Some((point, dir)) => refined.push(Exit {
@@ -301,10 +294,8 @@ impl Prefetcher for ScoutOpt {
             if !gap_pages.is_empty() {
                 plan.requests.push(PrefetchRequest::GapPages(gap_pages));
             }
-            plan.requests
-                .extend(self.inner.incremental_plan(&refined, 0.0).requests);
-            plan.requests
-                .extend(self.inner.incremental_plan(&fallback, gap).requests);
+            plan.requests.extend(self.inner.incremental_plan(&refined, 0.0).requests);
+            plan.requests.extend(self.inner.incremental_plan(&fallback, gap).requests);
             if !plan.requests.is_empty() {
                 self.inner.pending = plan;
             }
@@ -360,12 +351,8 @@ mod tests {
         objects
     }
 
-    fn make_ctx<'a>(
-        objects: &'a [SpatialObject],
-        flat: &'a FlatIndex,
-    ) -> SimContext<'a> {
-        SimContext::new(objects, flat, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)))
-            .with_ordered(flat)
+    fn make_ctx<'a>(objects: &'a [SpatialObject], flat: &'a FlatIndex) -> SimContext<'a> {
+        SimContext::new(objects, flat, Aabb::new(Vec3::ZERO, Vec3::splat(300.0))).with_ordered(flat)
     }
 
     fn query_at(x: f64) -> QueryRegion {
@@ -442,10 +429,8 @@ mod tests {
         let objects = fiber_dataset();
         let flat = FlatIndex::bulk_load_with(&objects, 8, FlatConfig::default());
         let ctx = make_ctx(&objects, &flat);
-        let mut opt = ScoutOpt::new(ScoutOptConfig {
-            gap_io_budget_frac: 0.10,
-            ..ScoutOptConfig::default()
-        });
+        let mut opt =
+            ScoutOpt::new(ScoutOptConfig { gap_io_budget_frac: 0.10, ..ScoutOptConfig::default() });
         opt.reset();
         for x in [20.0, 70.0, 120.0] {
             let r = query_at(x);

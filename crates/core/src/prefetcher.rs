@@ -17,9 +17,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scout_geometry::{QueryRegion, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{
-    CpuUnits, PrefetchPlan, PrefetchRequest, PredictionStats, Prefetcher, SimContext,
-};
+use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, SimContext};
 use std::collections::HashSet;
 
 /// The structure-aware prefetcher.
@@ -102,8 +100,7 @@ impl Scout {
         let Some(m) = self.movement() else {
             return exits;
         };
-        let forward: Vec<Exit> =
-            exits.iter().copied().filter(|e| e.dir.dot(m) >= -0.25).collect();
+        let forward: Vec<Exit> = exits.iter().copied().filter(|e| e.dir.dot(m) >= -0.25).collect();
         if forward.is_empty() {
             exits // never filter everything away
         } else {
@@ -139,9 +136,7 @@ impl Scout {
         // the closest approach to the query center.
         let mut cur = exit.vertex;
         let mut dir = -exit.dir; // walking inward
-        let mut min_dist = objects[graph.object_id(cur).index()]
-            .centroid()
-            .distance(center);
+        let mut min_dist = objects[graph.object_id(cur).index()].centroid().distance(center);
         let mut prev = u32::MAX;
         for _ in 0..24 {
             let cur_pos = objects[graph.object_id(cur).index()].centroid();
@@ -302,10 +297,8 @@ impl Scout {
         units.traversal_steps += graph.vertex_count() as u64; // labeling pass
 
         // §4.3 iterative candidate pruning.
-        let tolerance =
-            self.config.continuity_tolerance_frac * region.side() + self.gap_estimate;
-        let cont =
-            self.tracker.continuing_components(ctx.objects, &graph, &comp_of, tolerance);
+        let tolerance = self.config.continuity_tolerance_frac * region.side() + self.gap_estimate;
+        let cont = self.tracker.continuing_components(ctx.objects, &graph, &comp_of, tolerance);
         units.traversal_steps += cont.steps;
 
         let mut was_reset = false;
@@ -332,14 +325,8 @@ impl Scout {
         if was_reset {
             // §4.3 reset: candidates = all structures of this result (those
             // that exit the query are the only ones that can be followed).
-            let (e, steps) = find_exits(
-                ctx.objects,
-                &graph,
-                &comp_of,
-                region,
-                None,
-                self.config.simplification,
-            );
+            let (e, steps) =
+                find_exits(ctx.objects, &graph, &comp_of, region, None, self.config.simplification);
             units.traversal_steps += steps;
             exits = e;
             candidate_set = exits.iter().map(|e| e.component).collect::<HashSet<u32>>();
@@ -430,9 +417,7 @@ impl Prefetcher for Scout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scout_geometry::{
-        Aabb, Aspect, ObjectId, Segment, Shape, SpatialObject, StructureId,
-    };
+    use scout_geometry::{Aabb, Aspect, ObjectId, Segment, Shape, SpatialObject, StructureId};
     use scout_index::{RTree, SpatialIndex};
 
     /// A long straight fiber along x plus a decoy fiber along y.

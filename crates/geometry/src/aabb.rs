@@ -17,10 +17,8 @@ pub struct Aabb {
 
 impl Aabb {
     /// The empty box: the identity element of [`Aabb::union`].
-    pub const EMPTY: Aabb = Aabb {
-        min: Vec3::splat(f64::INFINITY),
-        max: Vec3::splat(f64::NEG_INFINITY),
-    };
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) };
 
     /// Creates a box from min/max corners.
     ///
@@ -55,9 +53,7 @@ impl Aabb {
 
     /// Smallest box containing every point in the iterator; `EMPTY` if none.
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Aabb {
-        points
-            .into_iter()
-            .fold(Aabb::EMPTY, |acc, p| acc.union(&Aabb::from_point(p)))
+        points.into_iter().fold(Aabb::EMPTY, |acc, p| acc.union(&Aabb::from_point(p)))
     }
 
     /// True when the box contains no points.
@@ -136,10 +132,7 @@ impl Aabb {
         if !self.intersects(other) {
             return Aabb::EMPTY;
         }
-        Aabb {
-            min: self.min.max(other.min),
-            max: self.max.min(other.max),
-        }
+        Aabb { min: self.min.max(other.min), max: self.max.min(other.max) }
     }
 
     /// Smallest box containing both.
@@ -151,19 +144,13 @@ impl Aabb {
         if other.is_empty() {
             return *self;
         }
-        Aabb {
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// Box grown by `margin` on every side (negative shrinks; may empty).
     #[inline]
     pub fn expanded(&self, margin: f64) -> Aabb {
-        Aabb {
-            min: self.min - Vec3::splat(margin),
-            max: self.max + Vec3::splat(margin),
-        }
+        Aabb { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
     }
 
     /// Box translated by `delta`.
@@ -293,11 +280,7 @@ mod tests {
 
     #[test]
     fn from_points_bounds_all() {
-        let pts = [
-            Vec3::new(0.0, 5.0, -1.0),
-            Vec3::new(2.0, -3.0, 4.0),
-            Vec3::new(1.0, 1.0, 1.0),
-        ];
+        let pts = [Vec3::new(0.0, 5.0, -1.0), Vec3::new(2.0, -3.0, 4.0), Vec3::new(1.0, 1.0, 1.0)];
         let b = Aabb::from_points(pts);
         for p in pts {
             assert!(b.contains_point(p));

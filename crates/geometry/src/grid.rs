@@ -27,11 +27,7 @@ impl UniformGrid {
         assert!(!bounds.is_empty(), "grid bounds must be non-empty");
         assert!(dims.iter().all(|&d| d >= 1), "grid dims must be >= 1, got {dims:?}");
         let e = bounds.extent();
-        let cell_size = Vec3::new(
-            e.x / dims[0] as f64,
-            e.y / dims[1] as f64,
-            e.z / dims[2] as f64,
-        );
+        let cell_size = Vec3::new(e.x / dims[0] as f64, e.y / dims[1] as f64, e.z / dims[2] as f64);
         UniformGrid { bounds, dims, cell_size }
     }
 
@@ -82,11 +78,8 @@ impl UniformGrid {
         let rel = p - self.bounds.min;
         let mut out = [0u32; 3];
         for a in 0..3 {
-            let c = if self.cell_size[a] <= 0.0 {
-                0.0
-            } else {
-                (rel[a] / self.cell_size[a]).floor()
-            };
+            let c =
+                if self.cell_size[a] <= 0.0 { 0.0 } else { (rel[a] / self.cell_size[a]).floor() };
             out[a] = (c.max(0.0) as u32).min(self.dims[a] - 1);
         }
         out
@@ -140,8 +133,7 @@ impl UniformGrid {
         for a in 0..3 {
             if dir[a] > 0.0 {
                 step[a] = 1;
-                let next_boundary =
-                    self.bounds.min[a] + (cur[a] as f64 + 1.0) * self.cell_size[a];
+                let next_boundary = self.bounds.min[a] + (cur[a] as f64 + 1.0) * self.cell_size[a];
                 t_max[a] = (next_boundary - seg.a[a]) / dir[a];
                 t_delta[a] = self.cell_size[a] / dir[a];
             } else if dir[a] < 0.0 {
@@ -297,7 +289,10 @@ mod tests {
     fn aabb_cells_cover_box() {
         let g = grid4();
         let mut cells = Vec::new();
-        g.cells_for_aabb(&Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(2.5, 1.5, 0.9)), &mut cells);
+        g.cells_for_aabb(
+            &Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(2.5, 1.5, 0.9)),
+            &mut cells,
+        );
         // x: cells 0..=2, y: 0..=1, z: 0 => 3*2*1 = 6 cells
         assert_eq!(cells.len(), 6);
     }

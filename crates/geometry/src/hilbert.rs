@@ -99,7 +99,7 @@ fn unpack<const N: usize>(index: u64, bits: u32) -> [u32; N] {
 ///
 /// Coordinates must be `< 2^order`; `order ≤ `[`MAX_ORDER_3D`].
 pub fn hilbert_index_3d(coords: [u32; 3], order: u32) -> u64 {
-    assert!(order >= 1 && order <= MAX_ORDER_3D, "order out of range: {order}");
+    assert!((1..=MAX_ORDER_3D).contains(&order), "order out of range: {order}");
     debug_assert!(coords.iter().all(|&c| c < (1u32 << order)));
     let mut x = coords;
     axes_to_transpose(&mut x, order);
@@ -108,7 +108,7 @@ pub fn hilbert_index_3d(coords: [u32; 3], order: u32) -> u64 {
 
 /// Inverse of [`hilbert_index_3d`].
 pub fn hilbert_coords_3d(index: u64, order: u32) -> [u32; 3] {
-    assert!(order >= 1 && order <= MAX_ORDER_3D, "order out of range: {order}");
+    assert!((1..=MAX_ORDER_3D).contains(&order), "order out of range: {order}");
     let mut x = unpack::<3>(index, order);
     transpose_to_axes(&mut x, order);
     x
@@ -116,7 +116,7 @@ pub fn hilbert_coords_3d(index: u64, order: u32) -> [u32; 3] {
 
 /// Hilbert index of 2-D cell coordinates with `order` bits per axis.
 pub fn hilbert_index_2d(coords: [u32; 2], order: u32) -> u64 {
-    assert!(order >= 1 && order <= MAX_ORDER_2D, "order out of range: {order}");
+    assert!((1..=MAX_ORDER_2D).contains(&order), "order out of range: {order}");
     debug_assert!(order == 32 || coords.iter().all(|&c| (c as u64) < (1u64 << order)));
     let mut x = coords;
     axes_to_transpose(&mut x, order);
@@ -125,7 +125,7 @@ pub fn hilbert_index_2d(coords: [u32; 2], order: u32) -> u64 {
 
 /// Inverse of [`hilbert_index_2d`].
 pub fn hilbert_coords_2d(index: u64, order: u32) -> [u32; 2] {
-    assert!(order >= 1 && order <= MAX_ORDER_2D, "order out of range: {order}");
+    assert!((1..=MAX_ORDER_2D).contains(&order), "order out of range: {order}");
     let mut x = unpack::<2>(index, order);
     transpose_to_axes(&mut x, order);
     x
@@ -189,11 +189,7 @@ mod tests {
         for i in 0..total - 1 {
             let a = hilbert_coords_3d(i, order);
             let b = hilbert_coords_3d(i + 1, order);
-            let dist: u32 = a
-                .iter()
-                .zip(b.iter())
-                .map(|(&p, &q)| p.abs_diff(q))
-                .sum();
+            let dist: u32 = a.iter().zip(b.iter()).map(|(&p, &q)| p.abs_diff(q)).sum();
             assert_eq!(dist, 1, "indices {i},{} map to {a:?},{b:?}", i + 1);
         }
     }

@@ -47,12 +47,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        for c in [
-            [0u32, 0, 0],
-            [1, 2, 3],
-            [1023, 511, 255],
-            [(1 << 21) - 1, 0, (1 << 21) - 1],
-        ] {
+        for c in [[0u32, 0, 0], [1, 2, 3], [1023, 511, 255], [(1 << 21) - 1, 0, (1 << 21) - 1]] {
             assert_eq!(morton_coords_3d(morton_index_3d(c)), c);
         }
     }

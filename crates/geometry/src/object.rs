@@ -132,11 +132,7 @@ mod tests {
 
     #[test]
     fn csr_adjacency() {
-        let lists = vec![
-            vec![ObjectId(1)],
-            vec![ObjectId(0), ObjectId(2)],
-            vec![ObjectId(1)],
-        ];
+        let lists = vec![vec![ObjectId(1)], vec![ObjectId(0), ObjectId(2)], vec![ObjectId(1)]];
         let adj = ObjectAdjacency::from_lists(&lists);
         assert_eq!(adj.object_count(), 3);
         assert_eq!(adj.edge_count(), 4);

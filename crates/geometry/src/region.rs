@@ -96,9 +96,7 @@ impl QueryRegion {
     pub fn scaled(&self, factor: f64) -> QueryRegion {
         assert!(factor > 0.0);
         let s = factor.cbrt();
-        QueryRegion {
-            aabb: Aabb::from_center_extent(self.center(), self.extent() * s),
-        }
+        QueryRegion { aabb: Aabb::from_center_extent(self.center(), self.extent() * s) }
     }
 
     /// Where (and in which direction) a segment leaves the region.

@@ -95,21 +95,13 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Vec3) -> Vec3 {
-        Vec3 {
-            x: self.x.min(other.x),
-            y: self.y.min(other.y),
-            z: self.z.min(other.z),
-        }
+        Vec3 { x: self.x.min(other.x), y: self.y.min(other.y), z: self.z.min(other.z) }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Vec3) -> Vec3 {
-        Vec3 {
-            x: self.x.max(other.x),
-            y: self.y.max(other.y),
-            z: self.z.max(other.z),
-        }
+        Vec3 { x: self.x.max(other.x), y: self.y.max(other.y), z: self.z.max(other.z) }
     }
 
     /// Component-wise clamp into `[lo, hi]`.

@@ -65,11 +65,7 @@ impl FlatIndex {
         let pages = rtree.layout().pages();
         let n = pages.len();
         // ε from the mean page MBR diagonal.
-        let mean_diag = pages
-            .iter()
-            .map(|p| p.mbr.extent().norm())
-            .sum::<f64>()
-            / n.max(1) as f64;
+        let mean_diag = pages.iter().map(|p| p.mbr.extent().norm()).sum::<f64>() / n.max(1) as f64;
         let eps = config.epsilon_factor * mean_diag;
 
         let mut neighbors: Vec<Vec<PageId>> = vec![Vec::new(); n];
@@ -301,7 +297,8 @@ mod tests {
         let flat = FlatIndex::bulk_load_with(&objs, 16, FlatConfig::default());
         let rtree = RTree::bulk_load_with_capacity(&objs, 16);
         let region = QueryRegion::from_aabb(Aabb::new(Vec3::splat(2.2), Vec3::splat(7.7)));
-        let mut a: Vec<u32> = flat.range_query(&objs, &region).objects.iter().map(|o| o.0).collect();
+        let mut a: Vec<u32> =
+            flat.range_query(&objs, &region).objects.iter().map(|o| o.0).collect();
         let mut b: Vec<u32> =
             rtree.range_query(&objs, &region).objects.iter().map(|o| o.0).collect();
         a.sort_unstable();

@@ -71,9 +71,8 @@ impl RTree {
             level = level
                 .chunks(INTERNAL_FANOUT)
                 .map(|chunk| {
-                    let mbr = chunk
-                        .iter()
-                        .fold(Aabb::EMPTY, |acc, &n| acc.union(&nodes[n as usize].mbr));
+                    let mbr =
+                        chunk.iter().fold(Aabb::EMPTY, |acc, &n| acc.union(&nodes[n as usize].mbr));
                     nodes.push(Node { mbr, children: Children::Nodes(chunk.to_vec()) });
                     (nodes.len() - 1) as u32
                 })
@@ -139,8 +138,7 @@ impl RTree {
                     }
                     Children::Leaves(pages) => {
                         for &pid in pages {
-                            let d =
-                                self.layout.page(pid).mbr.distance_sq_to_point(p);
+                            let d = self.layout.page(pid).mbr.distance_sq_to_point(p);
                             heap.push(Reverse(Entry { dist: d, is_node: false, id: pid.0 }));
                         }
                     }
@@ -223,12 +221,8 @@ mod tests {
         let objs = grid_objects(10, 1.0); // 1000 points in [0,9]^3
         let tree = RTree::bulk_load_with_capacity(&objs, 16);
         let region = QueryRegion::from_aabb(Aabb::new(Vec3::splat(2.5), Vec3::splat(6.5)));
-        let mut got: Vec<u32> = tree
-            .range_query(&objs, &region)
-            .objects
-            .iter()
-            .map(|o| o.0)
-            .collect();
+        let mut got: Vec<u32> =
+            tree.range_query(&objs, &region).objects.iter().map(|o| o.0).collect();
         got.sort_unstable();
         let mut expect: Vec<u32> = objs
             .iter()
@@ -262,11 +256,7 @@ mod tests {
     fn nearest_page_is_globally_nearest() {
         let objs = grid_objects(8, 1.0);
         let tree = RTree::bulk_load_with_capacity(&objs, 8);
-        for p in [
-            Vec3::new(3.4, 2.2, 5.9),
-            Vec3::new(-4.0, 0.0, 0.0),
-            Vec3::new(7.0, 7.0, 7.0),
-        ] {
+        for p in [Vec3::new(3.4, 2.2, 5.9), Vec3::new(-4.0, 0.0, 0.0), Vec3::new(7.0, 7.0, 7.0)] {
             let page = tree.nearest_page(p).unwrap();
             let got = tree.layout().page(page).mbr.distance_sq_to_point(p);
             let best = tree
@@ -286,10 +276,8 @@ mod tests {
         let p = Vec3::new(20.0, 20.0, 20.0); // outside; distances all > 0
         let near = tree.k_nearest_pages(p, 5);
         assert_eq!(near.len(), 5);
-        let dists: Vec<f64> = near
-            .iter()
-            .map(|&pid| tree.layout().page(pid).mbr.distance_sq_to_point(p))
-            .collect();
+        let dists: Vec<f64> =
+            near.iter().map(|&pid| tree.layout().page(pid).mbr.distance_sq_to_point(p)).collect();
         for w in dists.windows(2) {
             assert!(w[0] <= w[1] + 1e-12);
         }

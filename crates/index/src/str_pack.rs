@@ -33,10 +33,7 @@ pub fn str_pack(objects: &[SpatialObject], capacity: usize) -> PageLayout {
     let mut order: Vec<u32> = (0..n as u32).collect();
     let centroid = |i: &u32| objects[*i as usize].centroid();
     order.sort_by(|a, b| {
-        centroid(a)
-            .x
-            .partial_cmp(&centroid(b).x)
-            .expect("non-finite coordinate in dataset")
+        centroid(a).x.partial_cmp(&centroid(b).x).expect("non-finite coordinate in dataset")
     });
 
     let slab_len = n.div_ceil(sx);
@@ -46,18 +43,12 @@ pub fn str_pack(objects: &[SpatialObject], capacity: usize) -> PageLayout {
         let slab_pages = slab.len().div_ceil(capacity);
         let sy = (slab_pages as f64).sqrt().ceil() as usize;
         slab.sort_by(|a, b| {
-            centroid(a)
-                .y
-                .partial_cmp(&centroid(b).y)
-                .expect("non-finite coordinate in dataset")
+            centroid(a).y.partial_cmp(&centroid(b).y).expect("non-finite coordinate in dataset")
         });
         let run_len = slab.len().div_ceil(sy.max(1));
         for run in slab.chunks_mut(run_len.max(1)) {
             run.sort_by(|a, b| {
-                centroid(a)
-                    .z
-                    .partial_cmp(&centroid(b).z)
-                    .expect("non-finite coordinate in dataset")
+                centroid(a).z.partial_cmp(&centroid(b).z).expect("non-finite coordinate in dataset")
             });
             for chunk in run.chunks(capacity) {
                 let mut mbr = Aabb::EMPTY;

@@ -11,11 +11,7 @@ use scout_index::{FlatConfig, FlatIndex, RTree, SpatialIndex};
 
 fn arb_objects() -> impl Strategy<Value = Vec<SpatialObject>> {
     prop::collection::vec(
-        (
-            (-50.0..50.0, -50.0..50.0, -50.0..50.0),
-            (-3.0..3.0, -3.0..3.0, -3.0..3.0),
-            0.1..1.0f64,
-        ),
+        ((-50.0..50.0, -50.0..50.0, -50.0..50.0), (-3.0..3.0, -3.0..3.0, -3.0..3.0), 0.1..1.0f64),
         1..120,
     )
     .prop_map(|raw| {

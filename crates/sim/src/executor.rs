@@ -12,7 +12,7 @@
 
 use crate::context::SimContext;
 use crate::costs::CpuCostModel;
-use crate::prefetcher::{PrefetchRequest, Prefetcher, PredictionStats};
+use crate::prefetcher::{PredictionStats, PrefetchRequest, Prefetcher};
 use scout_geometry::QueryRegion;
 use scout_storage::{DiskModel, DiskProfile, IoStats, PrefetchCache};
 
@@ -219,10 +219,7 @@ pub fn run_sequences(
     sequences: &[Vec<QueryRegion>],
     config: &ExecutorConfig,
 ) -> Vec<SequenceTrace> {
-    sequences
-        .iter()
-        .map(|regions| run_sequence(ctx, prefetcher, regions, config))
-        .collect()
+    sequences.iter().map(|regions| run_sequence(ctx, prefetcher, regions, config)).collect()
 }
 
 #[cfg(test)]

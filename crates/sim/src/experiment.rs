@@ -113,17 +113,12 @@ pub fn aggregate(
     let hit_rate_std = if traces.len() < 2 {
         0.0
     } else {
-        let var = traces
-            .iter()
-            .map(|t| (t.hit_rate() - hit_rate).powi(2))
-            .sum::<f64>()
+        let var = traces.iter().map(|t| (t.hit_rate() - hit_rate).powi(2)).sum::<f64>()
             / (traces.len() - 1) as f64;
         var.sqrt()
     };
-    let responses: Vec<f64> = traces
-        .iter()
-        .flat_map(|t| t.queries.iter().map(|q| q.residual_us))
-        .collect();
+    let responses: Vec<f64> =
+        traces.iter().flat_map(|t| t.queries.iter().map(|q| q.residual_us)).collect();
     let response_std_us = if responses.len() < 2 {
         0.0
     } else {

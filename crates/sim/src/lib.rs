@@ -17,5 +17,5 @@ pub use context::SimContext;
 pub use costs::{CpuCostModel, CpuUnits};
 pub use executor::{run_sequence, run_sequences, ExecutorConfig, QueryTrace, SequenceTrace};
 pub use experiment::{aggregate, evaluate, region_lists, AggregateMetrics, TestBed};
-pub use prefetcher::{NoPrefetch, PrefetchPlan, PrefetchRequest, Prefetcher, PredictionStats};
+pub use prefetcher::{NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher};
 pub use workloads::Microbenchmark;

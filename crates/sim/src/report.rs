@@ -32,7 +32,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let mut write_row = |cells: &[String], out: &mut String| {
+        let write_row = |cells: &[String], out: &mut String| {
             let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
             out.push_str(&line.join(","));
             out.push('\n');

@@ -34,7 +34,14 @@ impl Microbenchmark {
         Microbenchmark {
             id,
             label,
-            sequence: SequenceParams { length, volume, aspect, gap, overlap_frac: 0.1, reset_prob: 0.0 },
+            sequence: SequenceParams {
+                length,
+                volume,
+                aspect,
+                gap,
+                overlap_frac: 0.1,
+                reset_prob: 0.0,
+            },
             window_ratio,
         }
     }
@@ -68,15 +75,8 @@ pub const ADHOC_PATTERN: Microbenchmark = Microbenchmark::new(
 );
 
 /// Model building: synapse placement (r = 2).
-pub const MODEL_BUILDING: Microbenchmark = Microbenchmark::new(
-    "model_building",
-    "Model Building",
-    35,
-    20_000.0,
-    Aspect::Cube,
-    0.0,
-    2.0,
-);
+pub const MODEL_BUILDING: Microbenchmark =
+    Microbenchmark::new("model_building", "Model Building", 35, 20_000.0, Aspect::Cube, 0.0, 2.0);
 
 /// Walkthrough visualization, low quality / fast rendering (r = 1.2).
 pub const VIS_LOW: Microbenchmark = Microbenchmark::new(

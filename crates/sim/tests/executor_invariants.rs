@@ -2,10 +2,12 @@
 //! randomized prefetcher that emits arbitrary plans.
 
 use proptest::prelude::*;
-use scout_geometry::{Aabb, Aspect, ObjectId, QueryRegion, Shape, SpatialObject, StructureId, Vec3};
+use scout_geometry::{
+    Aabb, Aspect, ObjectId, QueryRegion, Shape, SpatialObject, StructureId, Vec3,
+};
 use scout_index::{QueryResult, RTree};
 use scout_sim::{
-    run_sequence, ExecutorConfig, PrefetchPlan, PrefetchRequest, PredictionStats, Prefetcher,
+    run_sequence, ExecutorConfig, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher,
     SimContext,
 };
 

@@ -250,10 +250,7 @@ mod tests {
         c.insert(PageId(2));
         c.insert(PageId(3));
         c.access(PageId(1));
-        assert_eq!(
-            c.pages_mru_order(),
-            vec![PageId(1), PageId(3), PageId(2)]
-        );
+        assert_eq!(c.pages_mru_order(), vec![PageId(1), PageId(3), PageId(2)]);
     }
 
     #[test]

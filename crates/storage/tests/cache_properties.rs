@@ -44,10 +44,7 @@ enum Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (0u32..40).prop_map(Op::Access),
-            (0u32..40).prop_map(Op::Insert),
-        ],
+        prop_oneof![(0u32..40).prop_map(Op::Access), (0u32..40).prop_map(Op::Insert),],
         0..200,
     )
 }

@@ -86,8 +86,8 @@ pub fn generate_arterial(params: &ArterialParams, seed: u64) -> Dataset {
                     }
                 }
             }
-            let next_pos = (guide.position(node) + dir * params.step_len)
-                .clamp(bounds.min, bounds.max);
+            let next_pos =
+                (guide.position(node) + dir * params.step_len).clamp(bounds.min, bounds.max);
             let next = guide.add_node(next_pos);
             guide.add_edge(node, next);
             objects.push(SpatialObject::new(

@@ -187,15 +187,19 @@ pub fn generate_lung(params: &LungParams, seed: u64) -> Dataset {
 
         // Bifurcate.
         let end = *nodes.last().expect("branch has nodes");
-        let d_end = (guide.position(end)
-            - guide.position(nodes[nodes.len().saturating_sub(2)]))
-        .normalized_or_x();
+        let d_end = (guide.position(end) - guide.position(nodes[nodes.len().saturating_sub(2)]))
+            .normalized_or_x();
         let ortho = d_end.any_orthogonal();
         let phi = rng.random_range(0.0..std::f64::consts::TAU);
         let axis = ortho * phi.cos() + d_end.cross(ortho) * phi.sin();
         let (s, c) = params.bifurcation_half_angle.sin_cos();
         branch_id += 1;
-        work.push((end, (d_end * c + axis * s).normalized_or_x(), generation + 1, prev_band.clone()));
+        work.push((
+            end,
+            (d_end * c + axis * s).normalized_or_x(),
+            generation + 1,
+            prev_band.clone(),
+        ));
         work.push((end, (d_end * c - axis * s).normalized_or_x(), generation + 1, prev_band));
     }
 
@@ -247,11 +251,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            count as f64 > d.len() as f64 * 0.9,
-            "mesh fragmented: {count}/{}",
-            d.len()
-        );
+        assert!(count as f64 > d.len() as f64 * 0.9, "mesh fragmented: {count}/{}", d.len());
     }
 
     #[test]

@@ -180,9 +180,8 @@ mod tests {
     fn fibers_bifurcate() {
         let d = generate_neurons(&small(), 9);
         // Guide graph must contain branch nodes (degree >= 3).
-        let branch_nodes = (0..d.guide.node_count() as u32)
-            .filter(|&n| d.guide.neighbors(n).len() >= 3)
-            .count();
+        let branch_nodes =
+            (0..d.guide.node_count() as u32).filter(|&n| d.guide.neighbors(n).len() >= 3).count();
         assert!(
             branch_nodes > 5,
             "fibers should bifurcate repeatedly, found {branch_nodes} branch nodes"

@@ -65,10 +65,8 @@ pub fn generate_roads(params: &RoadParams, seed: u64) -> Dataset {
         for gx in 0..n {
             let jitter = params.spacing * params.jitter_frac;
             let p = Vec3::new(
-                (gx as f64 * params.spacing + rng.random_range(-jitter..=jitter))
-                    .clamp(0.0, side),
-                (gy as f64 * params.spacing + rng.random_range(-jitter..=jitter))
-                    .clamp(0.0, side),
+                (gx as f64 * params.spacing + rng.random_range(-jitter..=jitter)).clamp(0.0, side),
+                (gy as f64 * params.spacing + rng.random_range(-jitter..=jitter)).clamp(0.0, side),
                 0.0,
             );
             nodes[gy * n + gx] = guide.add_node(p);
@@ -97,7 +95,11 @@ pub fn generate_roads(params: &RoadParams, seed: u64) -> Dataset {
         for k in 1..params.segments_per_road {
             let t = k as f64 / params.segments_per_road as f64;
             let p = (a.lerp(b, t)
-                + Vec3::new(rng.random_range(-wiggle..=wiggle), rng.random_range(-wiggle..=wiggle), 0.0))
+                + Vec3::new(
+                    rng.random_range(-wiggle..=wiggle),
+                    rng.random_range(-wiggle..=wiggle),
+                    0.0,
+                ))
             .clamp(Vec3::new(0.0, 0.0, 0.0), Vec3::new(side, side, 0.0));
             let node = guide.add_node(p);
             guide.add_edge(prev_node, node);
@@ -135,14 +137,24 @@ pub fn generate_roads(params: &RoadParams, seed: u64) -> Dataset {
             let here = gy * n + gx;
             if gx + 1 < n && rng.random::<f64>() < params.keep_prob {
                 add_road(
-                    &mut rng, &mut guide, &mut objects, &mut adjacency, &mut incident,
-                    here, here + 1,
+                    &mut rng,
+                    &mut guide,
+                    &mut objects,
+                    &mut adjacency,
+                    &mut incident,
+                    here,
+                    here + 1,
                 );
             }
             if gy + 1 < n && rng.random::<f64>() < params.keep_prob {
                 add_road(
-                    &mut rng, &mut guide, &mut objects, &mut adjacency, &mut incident,
-                    here, here + n,
+                    &mut rng,
+                    &mut guide,
+                    &mut objects,
+                    &mut adjacency,
+                    &mut incident,
+                    here,
+                    here + n,
                 );
             }
         }
@@ -233,8 +245,11 @@ mod tests {
                 for &nb in adj.neighbors(oid) {
                     if d.objects[nb.index()].structure == d.objects[i].structure {
                         if let Shape::Segment(t) = d.objects[nb.index()].shape {
-                            let touch = s.a.distance(t.b).min(s.b.distance(t.a))
-                                .min(s.a.distance(t.a)).min(s.b.distance(t.b));
+                            let touch =
+                                s.a.distance(t.b)
+                                    .min(s.b.distance(t.a))
+                                    .min(s.a.distance(t.a))
+                                    .min(s.b.distance(t.b));
                             assert!(touch < 1e-9, "same-road neighbors don't touch");
                         }
                     }

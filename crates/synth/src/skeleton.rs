@@ -94,8 +94,7 @@ pub fn grow_subtree<R: Rng + ?Sized>(
     let mut tips: VecDeque<(GuideNodeId, Vec3, u32, u32, usize)> = VecDeque::new();
     tips.push_back((root, dir.normalized_or_x(), 0, 0, 0));
 
-    while let Some((mut node, mut d, generation, mut depth, mut branch_steps)) = tips.pop_front()
-    {
+    while let Some((mut node, mut d, generation, mut depth, mut branch_steps)) = tips.pop_front() {
         loop {
             if budget == 0 {
                 return edges;
@@ -130,6 +129,10 @@ pub fn grow_subtree<R: Rng + ?Sized>(
 }
 
 /// Grows a single unbranched chain of `steps` steps (used for axons).
+// The argument list mirrors `GrowthParams` flattened for the one caller
+// that doesn't need bifurcation; bundling them back up would just move
+// the same names one level down.
+#[allow(clippy::too_many_arguments)]
 pub fn grow_chain<R: Rng + ?Sized>(
     graph: &mut GuideGraph,
     rng: &mut R,
@@ -166,16 +169,8 @@ mod tests {
         let mut g = GuideGraph::new();
         let mut rng = StdRng::seed_from_u64(1);
         let root = g.add_node(Vec3::splat(50.0));
-        let edges = grow_chain(
-            &mut g,
-            &mut rng,
-            root,
-            Vec3::new(1.0, 0.0, 0.0),
-            500,
-            3.0,
-            0.1,
-            &bounds(),
-        );
+        let edges =
+            grow_chain(&mut g, &mut rng, root, Vec3::new(1.0, 0.0, 0.0), 500, 3.0, 0.1, &bounds());
         assert_eq!(edges.len(), 500);
         for p in g.positions() {
             assert!(bounds().expanded(1e-9).contains_point(*p));
@@ -192,19 +187,16 @@ mod tests {
         let mut g = GuideGraph::new();
         let mut rng = StdRng::seed_from_u64(2);
         let root = g.add_node(Vec3::splat(50.0));
-        let params = GrowthParams {
-            bifurcation_prob: 0.1,
-            max_total_steps: 300,
-            ..GrowthParams::default()
-        };
-        let edges = grow_subtree(&mut g, &mut rng, root, Vec3::new(0.0, 0.0, 1.0), &params, &bounds());
+        let params =
+            GrowthParams { bifurcation_prob: 0.1, max_total_steps: 300, ..GrowthParams::default() };
+        let edges =
+            grow_subtree(&mut g, &mut rng, root, Vec3::new(0.0, 0.0, 1.0), &params, &bounds());
         assert_eq!(edges.len(), 300);
         let max_gen = edges.iter().map(|e| e.generation).max().unwrap();
         assert!(max_gen >= 1, "no bifurcation with prob 0.1 over 300 steps");
         // Branch points have degree 3+ in the graph.
-        let branch_nodes = (0..g.node_count() as u32)
-            .filter(|&n| g.neighbors(n).len() >= 3)
-            .count();
+        let branch_nodes =
+            (0..g.node_count() as u32).filter(|&n| g.neighbors(n).len() >= 3).count();
         assert!(branch_nodes >= 1);
     }
 
@@ -213,16 +205,8 @@ mod tests {
         let mut g = GuideGraph::new();
         let mut rng = StdRng::seed_from_u64(3);
         let root = g.add_node(Vec3::new(1.0, 50.0, 50.0));
-        let edges = grow_chain(
-            &mut g,
-            &mut rng,
-            root,
-            Vec3::new(1.0, 0.0, 0.0),
-            20,
-            2.0,
-            0.0,
-            &bounds(),
-        );
+        let edges =
+            grow_chain(&mut g, &mut rng, root, Vec3::new(1.0, 0.0, 0.0), 20, 2.0, 0.0, &bounds());
         // 20 straight steps of 2.0 from x=1: all ys and zs unchanged.
         for e in &edges {
             let p = g.position(e.to);

@@ -6,10 +6,7 @@ use rand::SeedableRng;
 use scout_synth::{generate_neurons, generate_sequence, NeuronParams, SequenceParams};
 
 fn dataset() -> scout_synth::Dataset {
-    generate_neurons(
-        &NeuronParams { neuron_count: 8, fiber_steps: 250, ..Default::default() },
-        99,
-    )
+    generate_neurons(&NeuronParams { neuron_count: 8, fiber_steps: 250, ..Default::default() }, 99)
 }
 
 proptest! {

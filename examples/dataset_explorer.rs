@@ -47,14 +47,8 @@ fn describe(dataset: &Dataset) {
 }
 
 fn main() {
-    describe(&generate_neurons(
-        &NeuronParams { neuron_count: 80, ..Default::default() },
-        1,
-    ));
-    describe(&generate_arterial(
-        &ArterialParams { generations: 6, ..Default::default() },
-        2,
-    ));
+    describe(&generate_neurons(&NeuronParams { neuron_count: 80, ..Default::default() }, 1));
+    describe(&generate_arterial(&ArterialParams { generations: 6, ..Default::default() }, 2));
     describe(&generate_lung(&LungParams { generations: 6, ..Default::default() }, 3));
     describe(&generate_roads(&RoadParams { grid_n: 32, ..Default::default() }, 4));
 }

@@ -8,10 +8,7 @@
 use scout::prelude::*;
 
 fn main() {
-    let dataset = generate_neurons(
-        &NeuronParams { neuron_count: 120, ..Default::default() },
-        5,
-    );
+    let dataset = generate_neurons(&NeuronParams { neuron_count: 120, ..Default::default() }, 5);
     let bed = TestBed::new(dataset);
 
     println!("gap [µm] | SCOUT hit % | SCOUT-OPT hit % | gap pages (overhead I/O)");

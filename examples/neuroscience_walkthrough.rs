@@ -8,10 +8,7 @@
 use scout::prelude::*;
 
 fn main() {
-    let dataset = generate_neurons(
-        &NeuronParams { neuron_count: 120, ..Default::default() },
-        2026,
-    );
+    let dataset = generate_neurons(&NeuronParams { neuron_count: 120, ..Default::default() }, 2026);
     let bed = TestBed::new(dataset);
 
     // Figure 10, "Visualization (High Quality)": 65 frustum queries of
@@ -43,10 +40,7 @@ fn main() {
     );
 }
 
-fn generate_sequence_for(
-    bed: &TestBed,
-    bench: &scout::sim::Microbenchmark,
-) -> Vec<QueryRegion> {
+fn generate_sequence_for(bed: &TestBed, bench: &scout::sim::Microbenchmark) -> Vec<QueryRegion> {
     let sequences = generate_sequences(&bed.dataset, &bench.sequence, 1, 99);
     sequences.into_iter().next().expect("one sequence").regions
 }

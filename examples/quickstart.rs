@@ -8,10 +8,7 @@ use scout::prelude::*;
 fn main() {
     // 1. A synthetic brain-tissue block: 60 neurons, each a soma plus
     //    branching fibers of ~3 µm cylinders.
-    let dataset = generate_neurons(
-        &NeuronParams { neuron_count: 60, ..Default::default() },
-        42,
-    );
+    let dataset = generate_neurons(&NeuronParams { neuron_count: 60, ..Default::default() }, 42);
     println!(
         "dataset: {} objects, {:.0} µm side, {:.1e} objects/µm³",
         dataset.len(),

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use scout_storage::{DiskProfile, PrefetchCache};
     pub use scout_synth::{
         generate_arterial, generate_lung, generate_neurons, generate_roads, generate_sequence,
-        generate_sequences, ArterialParams, Dataset, Domain, LungParams, NeuronParams,
-        RoadParams, SequenceParams,
+        generate_sequences, ArterialParams, Dataset, Domain, LungParams, NeuronParams, RoadParams,
+        SequenceParams,
     };
 }

@@ -5,10 +5,7 @@ use scout::prelude::*;
 use scout::sim::run_sequence;
 
 fn neuron_bed(seed: u64) -> TestBed {
-    TestBed::new(generate_neurons(
-        &NeuronParams { neuron_count: 80, ..Default::default() },
-        seed,
-    ))
+    TestBed::new(generate_neurons(&NeuronParams { neuron_count: 80, ..Default::default() }, seed))
 }
 
 #[test]
@@ -19,8 +16,7 @@ fn candidate_set_collapses_along_the_sequence() {
     let mut scout = Scout::with_defaults();
     let trace = run_sequence(&bed.ctx_rtree(), &mut scout, &regions[0], &ExecutorConfig::default());
 
-    let candidates: Vec<usize> =
-        trace.queries.iter().map(|q| q.prediction.candidates).collect();
+    let candidates: Vec<usize> = trace.queries.iter().map(|q| q.prediction.candidates).collect();
     // First query sees many structures; by mid-sequence pruning should have
     // reduced the set substantially; the median of the tail must be tiny.
     let first = candidates[0];
@@ -28,10 +24,7 @@ fn candidate_set_collapses_along_the_sequence() {
     tail.sort_unstable();
     let median_tail = tail[tail.len() / 2];
     assert!(first >= 5, "first query should see several structures: {candidates:?}");
-    assert!(
-        median_tail <= 4,
-        "pruning failed to converge: {candidates:?}"
-    );
+    assert!(median_tail <= 4, "pruning failed to converge: {candidates:?}");
 }
 
 #[test]

@@ -5,14 +5,18 @@
 use scout::prelude::*;
 
 fn small_bed(seed: u64) -> TestBed {
-    let dataset = generate_neurons(
-        &NeuronParams { neuron_count: 60, ..Default::default() },
-        seed,
-    );
+    let dataset = generate_neurons(&NeuronParams { neuron_count: 60, ..Default::default() }, seed);
     TestBed::new(dataset)
 }
 
-fn workload(bed: &TestBed, length: usize, volume: f64, gap: f64, n: usize, seed: u64) -> Vec<Vec<QueryRegion>> {
+fn workload(
+    bed: &TestBed,
+    length: usize,
+    volume: f64,
+    gap: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<QueryRegion>> {
     let params = SequenceParams {
         length,
         volume,
@@ -63,12 +67,7 @@ fn every_prefetcher_helps_over_no_prefetching() {
     ];
     for p in prefetchers.iter_mut() {
         let m = evaluate(&bed.ctx_rtree(), p.as_mut(), &regions, &config);
-        assert!(
-            m.speedup >= 1.0,
-            "{} slowed execution down: {:.3}",
-            m.name,
-            m.speedup
-        );
+        assert!(m.speedup >= 1.0, "{} slowed execution down: {:.3}", m.name, m.speedup);
         assert!((0.0..=1.0).contains(&m.hit_rate), "{} hit rate {}", m.name, m.hit_rate);
     }
 }
@@ -103,10 +102,7 @@ fn hit_rate_grows_with_window_ratio() {
         let mut scout = Scout::with_defaults();
         rates.push(evaluate(&bed.ctx_rtree(), &mut scout, &regions, &config).hit_rate);
     }
-    assert!(
-        rates[0] < rates[2],
-        "hit rate should grow with the window: {rates:?}"
-    );
+    assert!(rates[0] < rates[2], "hit rate should grow with the window: {rates:?}");
 }
 
 #[test]

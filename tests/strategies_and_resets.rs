@@ -3,10 +3,7 @@
 use scout::prelude::*;
 
 fn bed(seed: u64) -> TestBed {
-    TestBed::new(generate_neurons(
-        &NeuronParams { neuron_count: 60, ..Default::default() },
-        seed,
-    ))
+    TestBed::new(generate_neurons(&NeuronParams { neuron_count: 60, ..Default::default() }, seed))
 }
 
 #[test]
@@ -67,11 +64,8 @@ fn scout_survives_user_resets() {
 #[test]
 fn reset_sequences_have_jumps() {
     let bed = bed(45);
-    let params = SequenceParams {
-        length: 30,
-        reset_prob: 0.3,
-        ..SequenceParams::sensitivity_default()
-    };
+    let params =
+        SequenceParams { length: 30, reset_prob: 0.3, ..SequenceParams::sensitivity_default() };
     let seq = &generate_sequences(&bed.dataset, &params, 1, 46)[0];
     assert_eq!(seq.regions.len(), 30);
     let step = params.center_step();

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benchmarks use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! backed by a simple wall-clock measurement loop: per sample, the routine
+//! runs in a batch sized so each sample takes roughly a millisecond, and the
+//! harness reports min/mean/max per-iteration time across samples.
+//!
+//! No statistical analysis, plotting, or baseline storage; output is a
+//! single line per benchmark on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so code written against criterion's `black_box` also works.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Mirror of criterion's `BatchSize`; the stub sizes every batch the same
+/// way, the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    sample_size: usize,
+    /// Smoke mode: execute the routine exactly once, no calibration.
+    smoke: bool,
+    /// (total time, iterations) per sample, filled by `iter*`.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, smoke: bool) -> Self {
+        Bencher { sample_size, smoke, samples: Vec::new() }
+    }
+
+    /// Calibrates a batch size so one sample lasts ≳1 ms, then records
+    /// `sample_size` samples of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        let batch = calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), batch));
+        }
+    }
+
+    /// Criterion's batched form: `setup` output is consumed by `routine`
+    /// and excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((t0.elapsed(), 1));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name:<40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|(d, n)| d.as_secs_f64() / *n as f64).collect();
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!("bench {name:<40} [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+    }
+}
+
+/// Doubles the batch until one batch takes at least ~1 ms (capped so huge
+/// routines still finish quickly).
+fn calibrate<F: FnMut()>(mut routine: F) -> u64 {
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            routine();
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+            return batch;
+        }
+        batch *= 2;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Benchmark driver. When the binary is run without `--bench` (as
+/// `cargo test` does for harness-less bench targets) every routine runs
+/// once as a smoke check instead of being measured.
+pub struct Criterion {
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { sample_size: 10, measure }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.measure {
+            let mut b = Bencher::new(self.sample_size, false);
+            f(&mut b);
+            b.report(name);
+        } else {
+            // Smoke mode: run the routine once to prove it executes.
+            let mut b = Bencher::new(1, true);
+            f(&mut b);
+            println!("bench {name:<40} ok (smoke)");
+        }
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: builds a function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! Runner configuration and the error type `prop_assert*` produce.
+
+use std::fmt;
+
+/// Mirror of upstream's `ProptestConfig` (only the fields used here).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// Cases to actually run: `PROPTEST_CASES` (if set and parseable)
+    /// caps the configured count so CI can trade coverage for speed.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the un-annotated suites quick
+        // while staying far above the workspace's explicit `with_cases`.
+        Config { cases: 64 }
+    }
+}
+
+/// A failed property case. Carries the formatted assertion message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}

@@ -1,0 +1,117 @@
+//! The concrete generators: both are xoshiro256++ under the hood; the two
+//! names exist so code written against upstream `rand` (`StdRng` for
+//! reproducible streams, `SmallRng` for cheap per-instance generators)
+//! compiles unchanged.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64 (the upstream-recommended
+/// seeding procedure, which also guarantees a nonzero state).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    pub fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus { s: [next(), next(), next(), next()] }
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+macro_rules! define_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name(Xoshiro256PlusPlus);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.step()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                $name(Xoshiro256PlusPlus::from_u64(state))
+            }
+        }
+    };
+}
+
+define_rng! {
+    /// Reproducible generator for dataset/sequence synthesis.
+    StdRng
+}
+define_rng! {
+    /// Cheap per-instance generator for algorithmic tie-breaking.
+    SmallRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let y: usize = rng.random_range(0..13);
+            assert!(y < 13);
+            let z: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&z));
+            let w: u32 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn unit_interval_covers_and_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo_seen |= u < 0.1;
+            hi_seen |= u > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "poor coverage of [0, 1)");
+    }
+}
