@@ -58,6 +58,15 @@ impl Default for ScoutConfig {
     }
 }
 
+impl ScoutConfig {
+    /// The default configuration with a specific RNG seed. Multi-session
+    /// runs give every session's SCOUT its own seed so the fleet is
+    /// decorrelated yet reproducible.
+    pub fn with_seed(seed: u64) -> ScoutConfig {
+        ScoutConfig { seed, ..ScoutConfig::default() }
+    }
+}
+
 /// Extra knobs of SCOUT-OPT (§6).
 #[derive(Debug, Clone, Copy)]
 pub struct ScoutOptConfig {

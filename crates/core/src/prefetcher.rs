@@ -57,6 +57,12 @@ impl Scout {
         Scout::new(ScoutConfig::default())
     }
 
+    /// SCOUT with the default configuration and a per-instance RNG seed
+    /// (one decorrelated prefetcher per session in multi-session runs).
+    pub fn with_seed(seed: u64) -> Scout {
+        Scout::new(ScoutConfig::with_seed(seed))
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ScoutConfig {
         &self.config

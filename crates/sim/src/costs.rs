@@ -55,6 +55,24 @@ impl Default for CpuCostModel {
 }
 
 impl CpuCostModel {
+    /// Checks every rate is a non-negative finite number (zero is allowed:
+    /// it models free CPU, useful for I/O-only ablations).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("graph_insert_us", self.graph_insert_us),
+            ("graph_edge_us", self.graph_edge_us),
+            ("traversal_step_us", self.traversal_step_us),
+            ("page_process_us", self.page_process_us),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "CpuCostModel.{name} must be a non-negative finite rate, got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Simulated µs of graph construction for the given units.
     pub fn graph_build_us(&self, u: &CpuUnits) -> f64 {
         u.graph_object_inserts as f64 * self.graph_insert_us

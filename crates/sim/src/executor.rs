@@ -14,7 +14,7 @@ use crate::context::SimContext;
 use crate::costs::CpuCostModel;
 use crate::prefetcher::{PredictionStats, PrefetchRequest, Prefetcher};
 use scout_geometry::QueryRegion;
-use scout_storage::{DiskModel, DiskProfile, IoStats, PrefetchCache};
+use scout_storage::{DiskModel, DiskProfile, IoStats, PageCache, PrefetchCache};
 
 /// Executor configuration (one microbenchmark's environment).
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +36,36 @@ impl Default for ExecutorConfig {
             cache_pages: 4096,
             disk: DiskProfile::default(),
             costs: CpuCostModel::default(),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Checks the configuration is executable: a non-negative finite
+    /// prefetch-window ratio, at least one cache page, and valid disk and
+    /// CPU cost models. Returns a descriptive error otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.window_ratio.is_finite() && self.window_ratio >= 0.0) {
+            return Err(format!(
+                "ExecutorConfig.window_ratio must be a non-negative finite ratio, got {}",
+                self.window_ratio
+            ));
+        }
+        if self.cache_pages == 0 {
+            return Err("ExecutorConfig.cache_pages must be >= 1: a zero-page cache cannot hold \
+                 prefetched data"
+                .to_string());
+        }
+        self.disk.validate()?;
+        self.costs.validate()?;
+        Ok(())
+    }
+
+    /// Panics with a descriptive message when the configuration is invalid
+    /// (every executor entry point calls this before running).
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid ExecutorConfig: {e}");
         }
     }
 }
@@ -115,6 +145,130 @@ impl SequenceTrace {
     }
 }
 
+/// A query served but its prefetch window not yet run: the partial trace
+/// plus the remaining window budget. Produced by [`serve_and_observe`],
+/// consumed by [`run_prefetch_window`].
+///
+/// Splitting the timeline here is what lets the multi-session executor
+/// schedule all sessions' serve phases before any prefetch phase (see
+/// DESIGN.md §5): within one round every session's query is served against
+/// the cache state left by the *previous* round, independent of session
+/// order.
+#[derive(Debug)]
+pub(crate) struct OpenWindow {
+    pub(crate) q: QueryTrace,
+    pub(crate) budget_us: f64,
+}
+
+/// Phases (1) and (2) of the Figure-2 timeline for one query: serve the
+/// result from cache/disk, let the prefetcher digest it, and compute the
+/// prefetch-window budget.
+pub(crate) fn serve_and_observe<C: PageCache>(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    region: &QueryRegion,
+    cache: &mut C,
+    disk: &mut DiskModel,
+    config: &ExecutorConfig,
+    io: &mut IoStats,
+) -> OpenWindow {
+    let mut q = QueryTrace::default();
+    let result = ctx.index.range_query(ctx.objects, region);
+    q.pages_total = result.pages.len();
+    q.result_objects = result.objects.len();
+
+    // The paper's d: reading the whole result from disk in retrieval
+    // order with a fresh head (independent of cache state). Measured on a
+    // clock-less disk — it is a hypothetical, not actual device time.
+    q.d_ref_us = {
+        let mut fresh = DiskModel::new(config.disk);
+        result.pages.iter().map(|&p| fresh.read_page(p)).sum::<f64>()
+    };
+
+    // (1) Serve the query: cache hits are free I/O; misses are the
+    // residual I/O the user waits for. Only *prefetched* pages live in
+    // the cache (§7.1: the 4 GB cache holds prefetched data; result
+    // pages stream to the user's analysis memory), so the hit rate
+    // measures prediction accuracy, not incidental query overlap.
+    for &page in &result.pages {
+        if cache.access(page) {
+            q.pages_hit += 1;
+            io.result_pages_cache += 1;
+        } else {
+            let t = disk.read_page(page);
+            q.residual_us += t;
+            io.result_pages_disk += 1;
+            io.residual_io_us += t;
+        }
+    }
+    // CPU cost of processing the result pages (charged to response).
+    q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
+
+    // (2) Prediction.
+    q.prediction = prefetcher.observe(ctx, region, &result);
+    q.graph_build_us = config.costs.graph_build_us(&q.prediction.cpu);
+    q.prediction_us = config.costs.prediction_us(&q.prediction.cpu);
+
+    // Open the prefetch window. Graph building is interleaved with result
+    // retrieval (§4: "while the result is read, the graph is already
+    // assembled"), so only the part exceeding the retrieval time delays
+    // the window; traversal/prediction always does — unless the method
+    // overlaps prediction with retrieval entirely (SCOUT-OPT, §6.2).
+    q.window_us = config.window_ratio * q.d_ref_us;
+    let prediction_delay = if prefetcher.overlaps_prediction() {
+        0.0
+    } else {
+        (q.graph_build_us - q.residual_us).max(0.0) + q.prediction_us
+    };
+    let budget_us = (q.window_us - prediction_delay).max(0.0);
+    OpenWindow { q, budget_us }
+}
+
+/// Phase (3): executes the prefetcher's prioritized plan until the window
+/// budget runs out, completing the query's trace.
+pub(crate) fn run_prefetch_window<C: PageCache>(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    window: OpenWindow,
+    cache: &mut C,
+    disk: &mut DiskModel,
+    io: &mut IoStats,
+) -> QueryTrace {
+    let OpenWindow { mut q, budget_us: mut budget } = window;
+    let plan = prefetcher.plan(ctx);
+    'window: for request in plan.requests {
+        let (pages, is_gap) = match request {
+            PrefetchRequest::Region(r) => (ctx.index.pages_in_region(r.aabb()), false),
+            PrefetchRequest::Pages(p) => (p, false),
+            PrefetchRequest::GapPages(p) => (p, true),
+        };
+        for page in pages {
+            if cache.contains(page) {
+                continue;
+            }
+            // Cost the read before committing it: a read the window cannot
+            // afford never happens, so it must not move the head, count as
+            // a device read, or advance the shared clock (which would
+            // inflate the multi-session disk-busy metric).
+            let t = disk.peek_read_us(page);
+            if t > budget {
+                break 'window; // the user issued the next query
+            }
+            let t = disk.read_page(page);
+            budget -= t;
+            cache.insert(page);
+            io.prefetch_io_us += t;
+            io.prefetch_pages_disk += 1;
+            q.prefetch_pages += 1;
+            if is_gap {
+                io.gap_pages_disk += 1;
+                q.gap_pages += 1;
+            }
+        }
+    }
+    q
+}
+
 /// Runs one guided query sequence against a fresh cache and disk.
 ///
 /// The prefetcher is `reset()` first; cache, disk head and counters start
@@ -125,88 +279,23 @@ pub fn run_sequence(
     regions: &[QueryRegion],
     config: &ExecutorConfig,
 ) -> SequenceTrace {
+    config.assert_valid();
     let mut cache = PrefetchCache::new(config.cache_pages);
     let mut disk = DiskModel::new(config.disk);
     let mut trace = SequenceTrace::default();
     prefetcher.reset();
 
     for region in regions {
-        let mut q = QueryTrace::default();
-        let result = ctx.index.range_query(ctx.objects, region);
-        q.pages_total = result.pages.len();
-        q.result_objects = result.objects.len();
-
-        // The paper's d: reading the whole result from disk in retrieval
-        // order with a fresh head (independent of cache state).
-        q.d_ref_us = {
-            let mut fresh = DiskModel::new(config.disk);
-            result.pages.iter().map(|&p| fresh.read_page(p)).sum::<f64>()
-        };
-
-        // (1) Serve the query: cache hits are free I/O; misses are the
-        // residual I/O the user waits for. Only *prefetched* pages live in
-        // the cache (§7.1: the 4 GB cache holds prefetched data; result
-        // pages stream to the user's analysis memory), so the hit rate
-        // measures prediction accuracy, not incidental query overlap.
-        for &page in &result.pages {
-            if cache.access(page) {
-                q.pages_hit += 1;
-                trace.io.result_pages_cache += 1;
-            } else {
-                let t = disk.read_page(page);
-                q.residual_us += t;
-                trace.io.result_pages_disk += 1;
-                trace.io.residual_io_us += t;
-            }
-        }
-        // CPU cost of processing the result pages (charged to response).
-        q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
-
-        // (2) Prediction.
-        q.prediction = prefetcher.observe(ctx, region, &result);
-        q.graph_build_us = config.costs.graph_build_us(&q.prediction.cpu);
-        q.prediction_us = config.costs.prediction_us(&q.prediction.cpu);
-
-        // (3) Prefetch window. Graph building is interleaved with result
-        // retrieval (§4: "while the result is read, the graph is already
-        // assembled"), so only the part exceeding the retrieval time delays
-        // the window; traversal/prediction always does — unless the method
-        // overlaps prediction with retrieval entirely (SCOUT-OPT, §6.2).
-        q.window_us = config.window_ratio * q.d_ref_us;
-        let prediction_delay = if prefetcher.overlaps_prediction() {
-            0.0
-        } else {
-            (q.graph_build_us - q.residual_us).max(0.0) + q.prediction_us
-        };
-        let mut budget = (q.window_us - prediction_delay).max(0.0);
-
-        let plan = prefetcher.plan(ctx);
-        'window: for request in plan.requests {
-            let (pages, is_gap) = match request {
-                PrefetchRequest::Region(r) => (ctx.index.pages_in_region(r.aabb()), false),
-                PrefetchRequest::Pages(p) => (p, false),
-                PrefetchRequest::GapPages(p) => (p, true),
-            };
-            for page in pages {
-                if cache.contains(page) {
-                    continue;
-                }
-                let t = disk.read_page(page);
-                if t > budget {
-                    break 'window; // the user issued the next query
-                }
-                budget -= t;
-                cache.insert(page);
-                trace.io.prefetch_io_us += t;
-                trace.io.prefetch_pages_disk += 1;
-                q.prefetch_pages += 1;
-                if is_gap {
-                    trace.io.gap_pages_disk += 1;
-                    q.gap_pages += 1;
-                }
-            }
-        }
-
+        let window = serve_and_observe(
+            ctx,
+            prefetcher,
+            region,
+            &mut cache,
+            &mut disk,
+            config,
+            &mut trace.io,
+        );
+        let q = run_prefetch_window(ctx, prefetcher, window, &mut cache, &mut disk, &mut trace.io);
         trace.queries.push(q);
     }
     trace
@@ -251,6 +340,53 @@ mod tests {
                 ))
             })
             .collect()
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        ExecutorConfig::default().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "window_ratio must be a non-negative finite ratio")]
+    fn negative_window_ratio_rejected() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let cfg = ExecutorConfig { window_ratio: -0.5, ..Default::default() };
+        let _ = run_sequence(&ctx, &mut NoPrefetch, &regions_along_x(1, 10.0, 20.0), &cfg);
+    }
+
+    #[test]
+    fn nan_window_ratio_rejected() {
+        let cfg = ExecutorConfig { window_ratio: f64::NAN, ..Default::default() };
+        assert!(cfg.validate().unwrap_err().contains("window_ratio"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache_pages must be >= 1")]
+    fn zero_cache_pages_rejected() {
+        let objs = line_dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(400.0)));
+        let cfg = ExecutorConfig { cache_pages: 0, ..Default::default() };
+        let _ = run_sequence(&ctx, &mut NoPrefetch, &regions_along_x(1, 10.0, 20.0), &cfg);
+    }
+
+    #[test]
+    fn invalid_disk_profile_rejected_via_config() {
+        let cfg = ExecutorConfig {
+            disk: DiskProfile { random_read_us: -2.0, ..DiskProfile::default() },
+            ..Default::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("random_read_us"));
+    }
+
+    #[test]
+    fn invalid_cost_model_rejected_via_config() {
+        let mut cfg = ExecutorConfig::default();
+        cfg.costs.page_process_us = f64::NAN;
+        assert!(cfg.validate().unwrap_err().contains("page_process_us"));
     }
 
     #[test]

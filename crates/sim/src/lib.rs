@@ -2,20 +2,29 @@
 //!
 //! The execution simulator for guided spatial query sequences: the
 //! [`Prefetcher`] abstraction all methods implement, the Figure-2 timeline
-//! executor with simulated disk and prefetch windows, the Figure-10
-//! microbenchmark definitions, and experiment/reporting plumbing.
+//! executor with simulated disk and prefetch windows, the multi-session
+//! engine ([`Session`] + [`MultiSessionExecutor`]) running K clients over a
+//! shared sharded cache, the Figure-10 microbenchmark definitions, and
+//! experiment/reporting plumbing.
 
 pub mod context;
 pub mod costs;
 pub mod executor;
 pub mod experiment;
+pub mod multi;
 pub mod prefetcher;
 pub mod report;
+pub mod session;
 pub mod workloads;
 
 pub use context::SimContext;
 pub use costs::{CpuCostModel, CpuUnits};
 pub use executor::{run_sequence, run_sequences, ExecutorConfig, QueryTrace, SequenceTrace};
-pub use experiment::{aggregate, evaluate, region_lists, AggregateMetrics, TestBed};
+pub use experiment::{aggregate, evaluate, region_lists, run_parallel, AggregateMetrics, TestBed};
+pub use multi::{
+    MultiSessionConfig, MultiSessionExecutor, MultiSessionReport, Schedule, SessionReport,
+};
 pub use prefetcher::{NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher};
+pub use report::{percentiles, LatencyPercentiles};
+pub use session::Session;
 pub use workloads::Microbenchmark;

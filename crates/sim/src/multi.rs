@@ -1,0 +1,399 @@
+//! The multi-session execution engine.
+//!
+//! K concurrent clients ([`Session`]s), one shared
+//! [`ShardedCache`], one simulated disk whose busy time accumulates on a
+//! [`SharedClock`]. Two schedules execute the same bulk-synchronous round
+//! structure — round *i* first serves every session's query *i* against
+//! the cache state left by round *i − 1*, then runs every session's
+//! prefetch window:
+//!
+//! * [`Schedule::RoundRobin`] — one thread interleaves sessions in id
+//!   order. Fully deterministic: identical inputs produce byte-identical
+//!   reports.
+//! * [`Schedule::Threaded`] — one OS thread per session, phase edges
+//!   aligned with a [`Barrier`]. Cache membership per round is the union of
+//!   all sessions' inserts, so totals (pages hit, hit rate) match
+//!   round-robin whenever the cache is not evicting under pressure; scalar
+//!   interleaving inside a phase is up to the scheduler.
+//!
+//! See DESIGN.md §5 for the precise determinism guarantees of each mode.
+
+use crate::context::SimContext;
+use crate::executor::ExecutorConfig;
+use crate::report::{pct, percentiles, LatencyPercentiles, Table};
+use crate::session::Session;
+use scout_storage::{CacheStats, ShardedCache, SharedClock};
+use std::sync::Barrier;
+
+/// How the engine schedules its sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Deterministic single-threaded interleaving in session-id order.
+    #[default]
+    RoundRobin,
+    /// One OS thread per session over the shared cache, with barriers at
+    /// phase edges.
+    Threaded,
+}
+
+/// Configuration of a multi-session run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiSessionConfig {
+    /// The per-session execution environment (window ratio, cache size,
+    /// disk, CPU costs). `cache_pages` is the *total* shared capacity
+    /// request; the effective capacity is rounded up to whole shards
+    /// (`ShardedCache::capacity`, also reported in `CacheStats`), so keep
+    /// `cache_pages` divisible by `shards` when comparing against private
+    /// caches of a sliced budget.
+    pub exec: ExecutorConfig,
+    /// Shard count of the shared cache (rounded up to a power of two).
+    pub shards: usize,
+    /// Session schedule.
+    pub schedule: Schedule,
+}
+
+impl Default for MultiSessionConfig {
+    fn default() -> Self {
+        MultiSessionConfig {
+            exec: ExecutorConfig::default(),
+            shards: 8,
+            schedule: Schedule::RoundRobin,
+        }
+    }
+}
+
+/// Runs K sessions over one shared sharded cache.
+#[derive(Debug, Clone)]
+pub struct MultiSessionExecutor {
+    config: MultiSessionConfig,
+}
+
+impl MultiSessionExecutor {
+    /// An engine with the given configuration (validated here, so a bad
+    /// config fails at construction, not mid-run).
+    pub fn new(config: MultiSessionConfig) -> MultiSessionExecutor {
+        config.exec.assert_valid();
+        assert!(config.shards >= 1, "shard count must be >= 1");
+        MultiSessionExecutor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MultiSessionConfig {
+        &self.config
+    }
+
+    /// Runs the sessions over a fresh shared cache.
+    pub fn run(&self, ctx: &SimContext<'_>, sessions: Vec<Session>) -> MultiSessionReport {
+        let cache = ShardedCache::new(self.config.exec.cache_pages, self.config.shards);
+        self.run_on(ctx, sessions, &cache)
+    }
+
+    /// Runs the sessions over a caller-provided cache — e.g. one pre-warmed
+    /// by an earlier run. The cache's counters are reset first so the
+    /// report measures only this run; its *contents* are kept.
+    pub fn run_on(
+        &self,
+        ctx: &SimContext<'_>,
+        mut sessions: Vec<Session>,
+        cache: &ShardedCache,
+    ) -> MultiSessionReport {
+        cache.reset_stats();
+        let clock = SharedClock::new();
+        for session in &mut sessions {
+            session.begin(&self.config.exec, Some(clock.clone()));
+        }
+        let rounds = sessions.iter().map(Session::query_count).max().unwrap_or(0);
+        let exec = &self.config.exec;
+
+        match self.config.schedule {
+            Schedule::RoundRobin => {
+                for _ in 0..rounds {
+                    for session in &mut sessions {
+                        session.serve_observe(ctx, &mut &*cache, exec);
+                    }
+                    for session in &mut sessions {
+                        session.finish_window(ctx, &mut &*cache, exec);
+                    }
+                }
+            }
+            Schedule::Threaded if !sessions.is_empty() => {
+                let barrier = Barrier::new(sessions.len());
+                std::thread::scope(|scope| {
+                    for session in &mut sessions {
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            for _ in 0..rounds {
+                                session.serve_observe(ctx, &mut &*cache, exec);
+                                barrier.wait();
+                                session.finish_window(ctx, &mut &*cache, exec);
+                                barrier.wait();
+                            }
+                        });
+                    }
+                });
+            }
+            Schedule::Threaded => {}
+        }
+
+        MultiSessionReport::assemble(sessions, cache.stats(), clock.now_us())
+    }
+}
+
+/// One session's slice of a multi-session report.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Session id.
+    pub id: usize,
+    /// Queries executed.
+    pub queries: usize,
+    /// Result pages requested / served from the shared cache.
+    pub pages_total: u64,
+    /// Result pages served from the shared cache.
+    pub pages_hit: u64,
+    /// Residual (user-visible) latency percentiles across this session's
+    /// queries, µs.
+    pub residual: LatencyPercentiles,
+    /// Total user-visible response time, µs.
+    pub response_us: f64,
+}
+
+impl SessionReport {
+    /// This session's cache-hit rate over result pages.
+    pub fn hit_rate(&self) -> f64 {
+        if self.pages_total == 0 {
+            0.0
+        } else {
+            self.pages_hit as f64 / self.pages_total as f64
+        }
+    }
+}
+
+/// Aggregate + per-session results of one multi-session run.
+#[derive(Debug, Clone)]
+pub struct MultiSessionReport {
+    /// Per-session slices, ordered by session id regardless of which
+    /// thread finished first (order-independent accounting).
+    pub sessions: Vec<SessionReport>,
+    /// Shared-cache counters for the whole run.
+    pub cache: CacheStats,
+    /// Total simulated time the shared disk spent busy, µs — the
+    /// contention K sessions put on one device.
+    pub disk_busy_us: f64,
+    /// Residual latency percentiles across *all* sessions' queries, µs.
+    pub residual: LatencyPercentiles,
+}
+
+impl MultiSessionReport {
+    fn assemble(
+        sessions: Vec<Session>,
+        cache: CacheStats,
+        disk_busy_us: f64,
+    ) -> MultiSessionReport {
+        let mut all_residuals: Vec<f64> = Vec::new();
+        let mut reports: Vec<SessionReport> = sessions
+            .into_iter()
+            .map(|session| {
+                let (id, trace) = session.into_trace();
+                let residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
+                all_residuals.extend_from_slice(&residuals);
+                SessionReport {
+                    id,
+                    queries: trace.queries.len(),
+                    pages_total: trace.io.result_pages_total(),
+                    pages_hit: trace.io.result_pages_cache,
+                    residual: percentiles(&residuals),
+                    response_us: trace.total_response_us(),
+                }
+            })
+            .collect();
+        reports.sort_by_key(|r| r.id);
+        MultiSessionReport {
+            sessions: reports,
+            cache,
+            disk_busy_us,
+            residual: percentiles(&all_residuals),
+        }
+    }
+
+    /// Total result pages requested across sessions.
+    pub fn total_pages(&self) -> u64 {
+        self.sessions.iter().map(|s| s.pages_total).sum()
+    }
+
+    /// Total result pages served from the shared cache across sessions.
+    pub fn total_pages_hit(&self) -> u64 {
+        self.sessions.iter().map(|s| s.pages_hit).sum()
+    }
+
+    /// Shared-cache hit rate over all sessions' result pages.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_pages();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_pages_hit() as f64 / total as f64
+        }
+    }
+
+    /// Total user-visible response time across sessions, µs.
+    pub fn total_response_us(&self) -> f64 {
+        self.sessions.iter().map(|s| s.response_us).sum()
+    }
+
+    /// Renders the per-session table plus the aggregate line. Deterministic
+    /// for deterministic runs (the round-robin determinism test compares
+    /// two renderings byte-for-byte).
+    pub fn render(&self) -> String {
+        let mut t =
+            Table::new(["session", "queries", "pages", "hit %", "p50 ms", "p95 ms", "p99 ms"]);
+        let ms = |us: f64| format!("{:.3}", us / 1_000.0);
+        for s in &self.sessions {
+            t.row([
+                format!("#{}", s.id),
+                s.queries.to_string(),
+                s.pages_total.to_string(),
+                pct(s.hit_rate()),
+                ms(s.residual.p50),
+                ms(s.residual.p95),
+                ms(s.residual.p99),
+            ]);
+        }
+        t.row([
+            "all".to_string(),
+            self.sessions.iter().map(|s| s.queries).sum::<usize>().to_string(),
+            self.total_pages().to_string(),
+            pct(self.hit_rate()),
+            ms(self.residual.p50),
+            ms(self.residual.p95),
+            ms(self.residual.p99),
+        ]);
+        format!(
+            "{}\nshared cache: {} hits / {} accesses ({} %), {} of {} pages used, {} evictions\n\
+             disk busy: {:.1} simulated ms\n",
+            t.render(),
+            self.cache.hits,
+            self.cache.accesses(),
+            pct(self.cache.hit_rate()),
+            self.cache.len,
+            self.cache.capacity,
+            self.cache.evictions,
+            self.disk_busy_us / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetcher::NoPrefetch;
+    use scout_geometry::{
+        Aabb, Aspect, ObjectId, QueryRegion, Shape, SpatialObject, StructureId, Vec3,
+    };
+    use scout_index::RTree;
+
+    fn dataset() -> Vec<SpatialObject> {
+        (0..300)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    StructureId(0),
+                    Shape::Point(Vec3::new(i as f64, 0.5, 0.5)),
+                )
+            })
+            .collect()
+    }
+
+    fn stream(offset: f64, n: usize) -> Vec<QueryRegion> {
+        (0..n)
+            .map(|i| {
+                QueryRegion::new(
+                    Vec3::new(offset + i as f64 * 12.0, 0.5, 0.5),
+                    1_000.0,
+                    Aspect::Cube,
+                )
+            })
+            .collect()
+    }
+
+    fn sessions(k: usize, n: usize) -> Vec<Session> {
+        (0..k)
+            .map(|id| Session::new(id, Box::new(NoPrefetch), stream(10.0 + id as f64 * 3.0, n)))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_runs_every_session_to_completion() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
+        let engine = MultiSessionExecutor::new(MultiSessionConfig::default());
+        let report = engine.run(&ctx, sessions(4, 5));
+        assert_eq!(report.sessions.len(), 4);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(s.queries, 5);
+            assert!(s.pages_total > 0);
+        }
+        assert!(report.disk_busy_us > 0.0);
+        assert!(report.render().contains("shared cache"));
+    }
+
+    #[test]
+    fn threaded_runs_every_session_to_completion() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
+        let engine = MultiSessionExecutor::new(MultiSessionConfig {
+            schedule: Schedule::Threaded,
+            ..Default::default()
+        });
+        let report = engine.run(&ctx, sessions(4, 5));
+        assert_eq!(report.sessions.len(), 4);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.id, i, "reports must be ordered by session id");
+            assert_eq!(s.queries, 5);
+        }
+    }
+
+    #[test]
+    fn mixed_length_sessions_are_handled() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
+        for schedule in [Schedule::RoundRobin, Schedule::Threaded] {
+            let engine =
+                MultiSessionExecutor::new(MultiSessionConfig { schedule, ..Default::default() });
+            let sessions = vec![
+                Session::new(0, Box::new(NoPrefetch), stream(10.0, 7)),
+                Session::new(1, Box::new(NoPrefetch), stream(40.0, 2)),
+                Session::new(2, Box::new(NoPrefetch), Vec::new()),
+            ];
+            let report = engine.run(&ctx, sessions);
+            assert_eq!(report.sessions[0].queries, 7);
+            assert_eq!(report.sessions[1].queries, 2);
+            assert_eq!(report.sessions[2].queries, 0);
+        }
+    }
+
+    #[test]
+    fn empty_session_list_is_fine() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
+        for schedule in [Schedule::RoundRobin, Schedule::Threaded] {
+            let engine =
+                MultiSessionExecutor::new(MultiSessionConfig { schedule, ..Default::default() });
+            let report = engine.run(&ctx, Vec::new());
+            assert!(report.sessions.is_empty());
+            assert_eq!(report.hit_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ExecutorConfig")]
+    fn invalid_exec_config_rejected_at_construction() {
+        let mut config = MultiSessionConfig::default();
+        config.exec.cache_pages = 0;
+        let _ = MultiSessionExecutor::new(config);
+    }
+}

@@ -53,7 +53,13 @@ impl PrefetchPlan {
 }
 
 /// A prefetching method driving the cache between queries.
-pub trait Prefetcher {
+///
+/// `Send` is a supertrait: a prefetcher is per-session mutable state, and
+/// the threaded [`MultiSessionExecutor`](crate::MultiSessionExecutor) moves
+/// each session — prefetcher included — onto its own thread. Prefetchers
+/// are plain owned data (history buffers, seeded RNGs), so this costs
+/// implementations nothing.
+pub trait Prefetcher: Send {
     /// Display name used in reports (e.g. `"SCOUT"`, `"EWMA (λ = 0.3)"`).
     fn name(&self) -> String;
 

@@ -84,6 +84,35 @@ impl Table {
     }
 }
 
+/// Residual-latency percentiles of a set of queries, in µs.
+///
+/// The paper reports totals and means; tail percentiles are what matter
+/// once many sessions share one cache — a prefetcher that helps the median
+/// but starves one session shows up in p99, not in the mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median, µs.
+    pub p50: f64,
+    /// 95th percentile, µs.
+    pub p95: f64,
+    /// 99th percentile, µs.
+    pub p99: f64,
+}
+
+/// Nearest-rank percentiles of `samples` (0 everywhere when empty).
+pub fn percentiles(samples: &[f64]) -> LatencyPercentiles {
+    if samples.is_empty() {
+        return LatencyPercentiles::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let at = |p: f64| {
+        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    LatencyPercentiles { p50: at(50.0), p95: at(95.0), p99: at(99.0) }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
@@ -125,6 +154,26 @@ mod tests {
     fn formatters() {
         assert_eq!(pct(0.914), "91.4");
         assert_eq!(speedup(14.96), "15.0x");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = percentiles(&samples);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        // Order independence.
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(percentiles(&rev), p);
+    }
+
+    #[test]
+    fn percentiles_small_and_empty() {
+        assert_eq!(percentiles(&[]), LatencyPercentiles::default());
+        let p = percentiles(&[7.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (7.0, 7.0, 7.0));
     }
 
     #[test]

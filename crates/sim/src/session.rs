@@ -1,0 +1,265 @@
+//! One client's seat at the simulator.
+//!
+//! The seed executor fused "a client" and "the world" into one function:
+//! `run_sequence` owned the prefetcher, the cache, the disk and the trace.
+//! A [`Session`] is the client half of that split — everything one user
+//! carries: their prefetcher (prediction history), their query stream and
+//! cursor, their disk handle (own head position, optionally a clock shared
+//! with every other session) and their accumulated trace. The world half —
+//! dataset, index, cache — stays in [`SimContext`] and the
+//! [`PageCache`](scout_storage::PageCache) passed to each step.
+//!
+//! A query executes in two sub-phases, mirroring the Figure-2 timeline:
+//! [`Session::serve_observe`] (serve the result, digest it, open the
+//! window) and [`Session::finish_window`] (run the prefetch plan until the
+//! window closes). The multi-session executor interleaves these across
+//! sessions; [`Session::step`] runs both back-to-back for the
+//! single-session case.
+
+use crate::context::SimContext;
+use crate::executor::{
+    run_prefetch_window, serve_and_observe, ExecutorConfig, OpenWindow, SequenceTrace,
+};
+use crate::prefetcher::Prefetcher;
+use scout_geometry::QueryRegion;
+use scout_storage::{DiskModel, PageCache, SharedClock};
+
+/// One client: a prefetcher, a query stream, a disk handle and a trace.
+pub struct Session {
+    id: usize,
+    prefetcher: Box<dyn Prefetcher>,
+    regions: Vec<QueryRegion>,
+    next: usize,
+    disk: DiskModel,
+    trace: SequenceTrace,
+    open: Option<OpenWindow>,
+}
+
+impl Session {
+    /// A session for one client following `regions` with `prefetcher`.
+    ///
+    /// The session starts cold with a default disk; an executor calls
+    /// [`Session::begin`] before the first step to install the configured
+    /// disk (and, in multi-session runs, the shared clock).
+    pub fn new(id: usize, prefetcher: Box<dyn Prefetcher>, regions: Vec<QueryRegion>) -> Session {
+        Session {
+            id,
+            prefetcher,
+            regions,
+            next: 0,
+            disk: DiskModel::default(),
+            trace: SequenceTrace::default(),
+            open: None,
+        }
+    }
+
+    /// The session id (stable reporting key, independent of completion
+    /// order in threaded runs).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of queries in this session's stream.
+    pub fn query_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when every query has fully executed.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.regions.len() && self.open.is_none()
+    }
+
+    /// Rewinds the session to a cold start: prefetcher history cleared,
+    /// cursor at the first query, fresh trace, and a disk built from
+    /// `config` (sharing `clock` with sibling sessions when given).
+    pub fn begin(&mut self, config: &ExecutorConfig, clock: Option<SharedClock>) {
+        config.assert_valid();
+        self.disk = match clock {
+            Some(c) => DiskModel::with_clock(config.disk, c),
+            None => DiskModel::new(config.disk),
+        };
+        self.prefetcher.reset();
+        self.trace = SequenceTrace::default();
+        self.next = 0;
+        self.open = None;
+    }
+
+    /// Serves the next query and lets the prefetcher digest it (timeline
+    /// phases 1–2), leaving the prefetch window open. Returns false when
+    /// the stream is exhausted (the call is then a no-op, so mixed-length
+    /// sessions can share one round loop).
+    pub fn serve_observe<C: PageCache>(
+        &mut self,
+        ctx: &SimContext<'_>,
+        cache: &mut C,
+        config: &ExecutorConfig,
+    ) -> bool {
+        debug_assert!(self.open.is_none(), "serve_observe called with a window still open");
+        let Some(region) = self.regions.get(self.next) else {
+            return false;
+        };
+        let window = serve_and_observe(
+            ctx,
+            self.prefetcher.as_mut(),
+            region,
+            cache,
+            &mut self.disk,
+            config,
+            &mut self.trace.io,
+        );
+        self.open = Some(window);
+        true
+    }
+
+    /// Runs the open prefetch window to completion (timeline phase 3) and
+    /// commits the query's trace. No-op when no window is open.
+    pub fn finish_window<C: PageCache>(
+        &mut self,
+        ctx: &SimContext<'_>,
+        cache: &mut C,
+        _config: &ExecutorConfig,
+    ) {
+        let Some(window) = self.open.take() else {
+            return;
+        };
+        let q = run_prefetch_window(
+            ctx,
+            self.prefetcher.as_mut(),
+            window,
+            cache,
+            &mut self.disk,
+            &mut self.trace.io,
+        );
+        self.trace.queries.push(q);
+        self.next += 1;
+    }
+
+    /// Executes one full query (both sub-phases). Returns false when the
+    /// stream was already exhausted.
+    pub fn step<C: PageCache>(
+        &mut self,
+        ctx: &SimContext<'_>,
+        cache: &mut C,
+        config: &ExecutorConfig,
+    ) -> bool {
+        if !self.serve_observe(ctx, cache, config) {
+            return false;
+        }
+        self.finish_window(ctx, cache, config);
+        true
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &SequenceTrace {
+        &self.trace
+    }
+
+    /// The per-session disk handle (head position, read counters, clock).
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Consumes the session, yielding its id and trace.
+    pub fn into_trace(self) -> (usize, SequenceTrace) {
+        (self.id, self.trace)
+    }
+}
+
+/// Sessions migrate onto worker threads in threaded mode. (Compile-time
+/// check; holds because `Prefetcher: Send` and all other fields are owned
+/// plain data.)
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_sequence;
+    use crate::prefetcher::NoPrefetch;
+    use scout_geometry::{Aabb, Aspect, ObjectId, Shape, SpatialObject, StructureId, Vec3};
+    use scout_index::RTree;
+    use scout_storage::PrefetchCache;
+
+    fn dataset() -> Vec<SpatialObject> {
+        (0..200)
+            .map(|i| {
+                SpatialObject::new(
+                    ObjectId(i),
+                    StructureId(0),
+                    Shape::Point(Vec3::new(i as f64, 0.5, 0.5)),
+                )
+            })
+            .collect()
+    }
+
+    fn regions(n: usize) -> Vec<QueryRegion> {
+        (0..n)
+            .map(|i| {
+                QueryRegion::new(Vec3::new(10.0 + i as f64 * 15.0, 0.5, 0.5), 1_000.0, Aspect::Cube)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stepping_a_session_matches_run_sequence() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(200.0)));
+        let config = ExecutorConfig::default();
+        let regions = regions(6);
+
+        let reference = run_sequence(&ctx, &mut NoPrefetch, &regions, &config);
+
+        let mut session = Session::new(0, Box::new(NoPrefetch), regions);
+        session.begin(&config, None);
+        let mut cache = PrefetchCache::new(config.cache_pages);
+        while session.step(&ctx, &mut cache, &config) {}
+        assert!(session.is_done());
+
+        let (_, trace) = session.into_trace();
+        assert_eq!(trace.queries.len(), reference.queries.len());
+        assert_eq!(trace.io, reference.io);
+        for (a, b) in trace.queries.iter().zip(&reference.queries) {
+            assert_eq!(a.pages_total, b.pages_total);
+            assert_eq!(a.pages_hit, b.pages_hit);
+            assert!((a.residual_us - b.residual_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exhausted_session_steps_are_noops() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(200.0)));
+        let config = ExecutorConfig::default();
+        let mut session = Session::new(3, Box::new(NoPrefetch), regions(2));
+        session.begin(&config, None);
+        let mut cache = PrefetchCache::new(64);
+        assert!(session.step(&ctx, &mut cache, &config));
+        assert!(session.step(&ctx, &mut cache, &config));
+        assert!(!session.step(&ctx, &mut cache, &config));
+        session.finish_window(&ctx, &mut cache, &config); // no-op
+        assert_eq!(session.trace().queries.len(), 2);
+        assert_eq!(session.id(), 3);
+    }
+
+    #[test]
+    fn begin_restarts_cold() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(200.0)));
+        let config = ExecutorConfig::default();
+        let mut session = Session::new(0, Box::new(NoPrefetch), regions(3));
+        session.begin(&config, None);
+        let mut cache = PrefetchCache::new(64);
+        while session.step(&ctx, &mut cache, &config) {}
+        let first = session.trace().total_response_us();
+        session.begin(&config, None);
+        assert_eq!(session.trace().queries.len(), 0);
+        let mut cache = PrefetchCache::new(64);
+        while session.step(&ctx, &mut cache, &config) {}
+        assert!((session.trace().total_response_us() - first).abs() < 1e-9);
+    }
+}

@@ -9,6 +9,7 @@
 //! lookup, touch, insert and evict are all O(1).
 
 use crate::page::PageId;
+use crate::page_cache::{CacheStats, PageCache};
 use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
@@ -156,6 +157,27 @@ impl PrefetchCache {
         self.evictions
     }
 
+    /// Snapshot of counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Zeroes the counters while keeping the cached pages (measure a run
+    /// over a warm cache without the warm-up skewing the numbers).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.insertions = 0;
+        self.evictions = 0;
+    }
+
     /// Empties the cache and zeroes all counters (run between sequences,
     /// §7.1).
     pub fn clear(&mut self) {
@@ -200,6 +222,40 @@ impl PrefetchCache {
         if self.tail == NIL {
             self.tail = slot;
         }
+    }
+}
+
+impl PageCache for PrefetchCache {
+    fn access(&mut self, page: PageId) -> bool {
+        PrefetchCache::access(self, page)
+    }
+
+    fn insert(&mut self, page: PageId) -> Option<PageId> {
+        PrefetchCache::insert(self, page)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        PrefetchCache::contains(self, page)
+    }
+
+    fn len(&self) -> usize {
+        PrefetchCache::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        PrefetchCache::capacity(self)
+    }
+
+    fn clear(&mut self) {
+        PrefetchCache::clear(self)
+    }
+
+    fn stats(&self) -> CacheStats {
+        PrefetchCache::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        PrefetchCache::reset_stats(self)
     }
 }
 
@@ -274,6 +330,40 @@ mod tests {
         assert_eq!(c.misses(), 0);
         assert_eq!(c.evictions(), 0);
         assert!(!c.contains(PageId(1)));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = PrefetchCache::new(2);
+        c.insert(PageId(1));
+        c.insert(PageId(2));
+        c.insert(PageId(3)); // evicts 1
+        c.access(PageId(2));
+        c.access(PageId(9));
+        c.reset_stats();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (0, 0, 0, 0));
+        assert_eq!(s.len, 2);
+        assert_eq!(s.capacity, 2);
+        assert!(c.contains(PageId(2)) && c.contains(PageId(3)));
+    }
+
+    #[test]
+    fn stats_snapshot_matches_accessors() {
+        let mut c = PrefetchCache::new(2);
+        c.insert(PageId(1));
+        c.insert(PageId(2));
+        c.insert(PageId(3));
+        c.access(PageId(3));
+        c.access(PageId(7));
+        let s = c.stats();
+        assert_eq!(s.hits, c.hits());
+        assert_eq!(s.misses, c.misses());
+        assert_eq!(s.insertions, c.insertions());
+        assert_eq!(s.evictions, c.evictions());
+        assert_eq!(s.len, c.len());
+        assert_eq!(s.capacity, c.capacity());
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

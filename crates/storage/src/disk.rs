@@ -8,6 +8,8 @@
 //! preserved regardless of host hardware. See DESIGN.md §2.
 
 use crate::page::PageId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Latency parameters of the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,20 +34,68 @@ impl Default for DiskProfile {
     }
 }
 
+impl DiskProfile {
+    /// Checks the profile is physically meaningful: both latencies must be
+    /// positive finite numbers. Returns a descriptive error otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.random_read_us.is_finite() && self.random_read_us > 0.0) {
+            return Err(format!(
+                "DiskProfile.random_read_us must be a positive finite latency, got {}",
+                self.random_read_us
+            ));
+        }
+        if !(self.sequential_read_us.is_finite() && self.sequential_read_us > 0.0) {
+            return Err(format!(
+                "DiskProfile.sequential_read_us must be a positive finite latency, got {}",
+                self.sequential_read_us
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A simulated disk: charges per-page read latencies and tracks the head
 /// position to grant the sequential discount.
+///
+/// In the multi-session engine every session clones one prototype disk:
+/// the clone carries its own head position and counters (each session's
+/// access pattern earns its own sequential discounts), while an optional
+/// [`SharedClock`] — shared across clones through an `Arc` — accumulates
+/// the *total* busy time of the underlying device, so the aggregate report
+/// can show the contention K sessions put on one disk instead of silently
+/// pretending each had private hardware.
 #[derive(Debug, Clone)]
 pub struct DiskModel {
     profile: DiskProfile,
     last_page: Option<PageId>,
     random_reads: u64,
     sequential_reads: u64,
+    clock: Option<SharedClock>,
 }
 
 impl DiskModel {
     /// Disk with the given latency profile.
+    ///
+    /// Panics with a descriptive message when the profile is invalid
+    /// (non-positive or non-finite latencies).
     pub fn new(profile: DiskProfile) -> DiskModel {
-        DiskModel { profile, last_page: None, random_reads: 0, sequential_reads: 0 }
+        if let Err(e) = profile.validate() {
+            panic!("invalid DiskProfile: {e}");
+        }
+        DiskModel { profile, last_page: None, random_reads: 0, sequential_reads: 0, clock: None }
+    }
+
+    /// Disk charging every read against a shared clock (multi-session
+    /// contention accounting). Clones share the clock.
+    pub fn with_clock(profile: DiskProfile, clock: SharedClock) -> DiskModel {
+        let mut d = DiskModel::new(profile);
+        d.clock = Some(clock);
+        d
+    }
+
+    /// The shared clock, when one is attached.
+    pub fn clock(&self) -> Option<&SharedClock> {
+        self.clock.as_ref()
     }
 
     /// The latency profile.
@@ -53,20 +103,40 @@ impl DiskModel {
         self.profile
     }
 
+    /// The latency a [`DiskModel::read_page`] of `page` *would* cost right
+    /// now, without moving the head, counting the read or advancing any
+    /// clock. The executor uses this to decide whether a prefetch read
+    /// fits the remaining window before committing it.
+    pub fn peek_read_us(&self, page: PageId) -> f64 {
+        if self.is_sequential(page) {
+            self.profile.sequential_read_us
+        } else {
+            self.profile.random_read_us
+        }
+    }
+
+    /// Whether reading `page` next would earn the sequential discount:
+    /// it physically follows the page under the head.
+    fn is_sequential(&self, page: PageId) -> bool {
+        matches!(self.last_page, Some(last) if page.0 == last.0.wrapping_add(1))
+    }
+
     /// Reads one page, returning its simulated latency in µs.
     ///
     /// A read of the page physically following the previous read costs the
     /// sequential rate; anything else costs a full random read.
     pub fn read_page(&mut self, page: PageId) -> f64 {
-        let sequential = matches!(self.last_page, Some(last) if page.0 == last.0.wrapping_add(1));
-        self.last_page = Some(page);
-        if sequential {
+        let us = self.peek_read_us(page);
+        if self.is_sequential(page) {
             self.sequential_reads += 1;
-            self.profile.sequential_read_us
         } else {
             self.random_reads += 1;
-            self.profile.random_read_us
         }
+        self.last_page = Some(page);
+        if let Some(clock) = &self.clock {
+            clock.advance(us);
+        }
+        us
     }
 
     /// Simulated time to read `n` pages in the best case (one seek, then
@@ -107,6 +177,48 @@ impl DiskModel {
 impl Default for DiskModel {
     fn default() -> Self {
         DiskModel::new(DiskProfile::default())
+    }
+}
+
+/// A simulated clock shared between sessions: an atomic accumulator of
+/// microseconds, cheap to clone (clones observe and advance the same time).
+///
+/// The value is stored as `f64` bits in an `AtomicU64` and advanced with a
+/// compare-exchange loop, so concurrent `advance` calls never lose time —
+/// the final reading is the same regardless of thread interleaving (up to
+/// floating-point addition order, which only perturbs the last ulps).
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    bits: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// Clock at time zero.
+    pub fn new() -> SharedClock {
+        SharedClock::default()
+    }
+
+    /// Current simulated time in µs.
+    pub fn now_us(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Atomically advances the clock, returning the time after the advance.
+    pub fn advance(&self, us: f64) -> f64 {
+        debug_assert!(us >= 0.0, "cannot advance clock by negative time: {us}");
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + us).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return f64::from_bits(next),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Rewinds the clock to zero.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Release);
     }
 }
 
@@ -180,6 +292,78 @@ mod tests {
         assert_eq!(d.sequential_reads(), 0);
         // After reset the next read is random even if "sequential" by id.
         assert_eq!(d.read_page(PageId(3)), d.profile().random_read_us);
+    }
+
+    #[test]
+    fn peek_matches_read_without_side_effects() {
+        let clock = SharedClock::new();
+        let mut d = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        d.read_page(PageId(10));
+        let busy = clock.now_us();
+        // Peeking the sequential successor predicts the discount but
+        // moves nothing.
+        assert_eq!(d.peek_read_us(PageId(11)), d.profile().sequential_read_us);
+        assert_eq!(d.peek_read_us(PageId(13)), d.profile().random_read_us);
+        assert_eq!(clock.now_us(), busy);
+        assert_eq!(d.random_reads(), 1);
+        assert_eq!(d.sequential_reads(), 0);
+        // The committed read then costs exactly what the peek promised.
+        let peek = d.peek_read_us(PageId(11));
+        assert_eq!(d.read_page(PageId(11)), peek);
+    }
+
+    #[test]
+    #[should_panic(expected = "random_read_us must be a positive finite latency")]
+    fn zero_random_latency_rejected() {
+        let _ = DiskModel::new(DiskProfile { random_read_us: 0.0, ..DiskProfile::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential_read_us must be a positive finite latency")]
+    fn negative_sequential_latency_rejected() {
+        let _ = DiskModel::new(DiskProfile { sequential_read_us: -1.0, ..DiskProfile::default() });
+    }
+
+    #[test]
+    fn non_finite_latency_rejected() {
+        let p = DiskProfile { random_read_us: f64::NAN, ..DiskProfile::default() };
+        assert!(p.validate().is_err());
+        let p = DiskProfile { sequential_read_us: f64::INFINITY, ..DiskProfile::default() };
+        assert!(p.validate().is_err());
+        assert!(DiskProfile::default().validate().is_ok());
+    }
+
+    #[test]
+    fn cloned_disks_share_the_clock_but_not_the_head() {
+        let clock = SharedClock::new();
+        let mut a = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        let mut b = a.clone();
+        a.read_page(PageId(10)); // random
+        b.read_page(PageId(11)); // b's head is fresh: random, not sequential
+        assert_eq!(a.random_reads(), 1);
+        assert_eq!(b.random_reads(), 1);
+        assert_eq!(b.sequential_reads(), 0);
+        // Both reads landed on the one shared clock.
+        let expect = 2.0 * a.profile().random_read_us;
+        assert!((clock.now_us() - expect).abs() < 1e-9);
+        clock.reset();
+        assert_eq!(clock.now_us(), 0.0);
+    }
+
+    #[test]
+    fn shared_clock_never_loses_time_under_contention() {
+        let clock = SharedClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let clock = clock.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        clock.advance(1.0);
+                    }
+                });
+            }
+        });
+        assert!((clock.now_us() - 8_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! # scout-storage
 //!
 //! Paged storage substrate: disk pages and layouts, a calibrated simulated
-//! disk with a simulated clock, the LRU prefetch cache, and I/O accounting.
+//! disk with a simulated clock, the [`PageCache`] abstraction with its two
+//! implementations (single-threaded LRU [`PrefetchCache`] and shard-locked
+//! concurrent [`ShardedCache`]), and I/O accounting.
 //!
 //! All I/O in the reproduction is page-granular. Simulated latencies stand
 //! in for the paper's 4-disk SAS stripe (see DESIGN.md §2 for why this
@@ -10,9 +12,13 @@
 pub mod cache;
 pub mod disk;
 pub mod page;
+pub mod page_cache;
+pub mod sharded;
 pub mod stats;
 
 pub use cache::PrefetchCache;
-pub use disk::{DiskModel, DiskProfile, SimClock};
+pub use disk::{DiskModel, DiskProfile, SharedClock, SimClock};
 pub use page::{Page, PageId, PageLayout};
+pub use page_cache::{CacheStats, PageCache};
+pub use sharded::ShardedCache;
 pub use stats::IoStats;

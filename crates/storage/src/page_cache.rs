@@ -1,0 +1,122 @@
+//! The cache abstraction shared by every executor.
+//!
+//! The seed reproduction had exactly one cache — the single-threaded LRU
+//! [`PrefetchCache`](crate::PrefetchCache). The multi-session engine adds a
+//! second implementation, the shard-locked
+//! [`ShardedCache`](crate::ShardedCache), and both are driven through this
+//! trait so the executor's serve/prefetch loops are written once.
+//!
+//! All methods take `&mut self` for the benefit of the single-threaded LRU;
+//! implementations with interior locking (the sharded cache) additionally
+//! implement the trait for their shared references, so a borrowed
+//! `&ShardedCache` is itself a `PageCache` and K sessions can drive one
+//! cache concurrently.
+
+use crate::page::PageId;
+
+/// A point-in-time snapshot of a cache's counters and occupancy.
+///
+/// Snapshots are plain data: they can be taken from a live concurrently
+/// accessed cache (counter reads are atomic per field, the snapshot as a
+/// whole is not) and compared, merged or printed afterwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found their page cached.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Fresh insertions (promotions of already-cached pages excluded).
+    pub insertions: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Pages currently cached.
+    pub len: usize,
+    /// Capacity in pages.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total accesses recorded (`hits + misses`).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of accesses served from the cache; 0 when none happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the capacity in use.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// A page cache the executor can serve queries from and prefetch into.
+///
+/// The contract mirrors the original LRU: [`access`](PageCache::access)
+/// counts a hit or a miss and promotes on hit, [`insert`](PageCache::insert)
+/// adds a page evicting if necessary, and the counters behind
+/// [`stats`](PageCache::stats) only move through those two calls —
+/// [`contains`](PageCache::contains) is a pure membership probe.
+pub trait PageCache {
+    /// Records an access; returns whether the page was cached.
+    fn access(&mut self, page: PageId) -> bool;
+
+    /// Inserts a page, returning the page evicted to make room, if any.
+    fn insert(&mut self, page: PageId) -> Option<PageId>;
+
+    /// True when the page is cached (no recency or counter effect).
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Number of cached pages.
+    fn len(&self) -> usize;
+
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in pages.
+    fn capacity(&self) -> usize;
+
+    /// Empties the cache and zeroes all counters.
+    fn clear(&mut self);
+
+    /// Snapshot of counters and occupancy.
+    fn stats(&self) -> CacheStats;
+
+    /// Zeroes the counters while keeping the cached pages — the
+    /// multi-session reporter uses this to measure a run over a pre-warmed
+    /// cache without the warm-up skewing the numbers.
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_derived_quantities() {
+        let s = CacheStats { hits: 3, misses: 1, len: 8, capacity: 16, ..Default::default() };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_edge_cases() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.occupancy(), 0.0);
+    }
+}

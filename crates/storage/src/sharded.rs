@@ -1,0 +1,280 @@
+//! The shard-locked concurrent prefetch cache.
+//!
+//! K sessions hammering one global LRU lock would serialize the whole
+//! multi-session engine, so the shared cache is split into N independently
+//! mutex-locked LRU shards. A page's shard is a pure function of its id
+//! (multiplicative hash), which gives two structural guarantees for free:
+//! a page can never be duplicated across shards, and a page can never
+//! migrate — operations on different shards are completely independent.
+//!
+//! Hit/miss/insertion/eviction counters live outside the shard locks as
+//! atomics so an aggregate [`CacheStats`] snapshot never has to stop the
+//! world. The price of sharding is that LRU recency is per-shard rather
+//! than global — with S shards the eviction victim is the oldest page *of
+//! the hashed shard*, an approximation that converges to true LRU as
+//! accesses spread across shards (same trade as `DashMap`-style maps).
+
+use crate::page::PageId;
+use crate::page_cache::{CacheStats, PageCache};
+use crate::PrefetchCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fibonacci-hash multiplier (2⁶⁴ / φ), the usual mixer for sequential ids.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A concurrent page cache: N independently-locked LRU shards plus atomic
+/// counters. All operations take `&self`; `&ShardedCache` implements
+/// [`PageCache`], so many sessions can drive one instance.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<PrefetchCache>>,
+    /// log₂(shard count); the shard index is the top bits of the hash.
+    shard_bits: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Cache holding at most `capacity` pages split over `shards` shards.
+    ///
+    /// The shard count is rounded up to a power of two; the capacity is
+    /// divided evenly with any remainder rounded up, so the effective
+    /// capacity ([`ShardedCache::capacity`]) can slightly exceed the
+    /// request. Panics when `capacity` or `shards` is zero.
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        assert!(capacity >= 1, "cache capacity must be >= 1");
+        assert!(shards >= 1, "shard count must be >= 1");
+        let shards = shards.next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(PrefetchCache::new(per_shard))).collect(),
+            shard_bits: shards.trailing_zeros(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity in pages (per-shard capacity × shard count).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards[0].lock().unwrap().capacity()
+    }
+
+    #[inline]
+    fn shard_of(&self, page: PageId) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        ((page.0 as u64).wrapping_mul(HASH_MUL) >> (64 - self.shard_bits)) as usize
+    }
+
+    /// Records an access: a hit promotes within its shard. Returns whether
+    /// the page was cached.
+    pub fn access(&self, page: PageId) -> bool {
+        let hit = self.shards[self.shard_of(page)].lock().unwrap().access(page);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts a page into its shard, evicting that shard's LRU page when
+    /// the shard is full. Returns the evicted page, if any.
+    pub fn insert(&self, page: PageId) -> Option<PageId> {
+        let mut shard = self.shards[self.shard_of(page)].lock().unwrap();
+        let fresh = !shard.contains(page);
+        let evicted = shard.insert(page);
+        if fresh {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// True when the page is cached (no recency or counter effect).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shards[self.shard_of(page)].lock().unwrap().contains(page)
+    }
+
+    /// Number of cached pages, summed over shards.
+    ///
+    /// Under concurrent mutation this is a momentary sum, not a linearizable
+    /// snapshot.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties every shard and zeroes all counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+        self.reset_stats();
+    }
+
+    /// Zeroes the aggregate counters while keeping the cached pages.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Aggregate snapshot across all shards.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
+    }
+
+    /// The cached pages of every shard, MRU-first (test/diagnostic helper:
+    /// the cross-shard property tests assert no page appears twice).
+    pub fn shard_pages(&self) -> Vec<Vec<PageId>> {
+        self.shards.iter().map(|s| s.lock().unwrap().pages_mru_order()).collect()
+    }
+}
+
+/// Delegates the whole `PageCache` surface to the `&self` inherent
+/// methods. Instantiated for the owned type and for `&ShardedCache` — a
+/// shared reference is itself a cache handle, which is how sessions on
+/// separate threads drive one cache — so the two impls cannot diverge.
+macro_rules! delegate_page_cache {
+    ($ty:ty) => {
+        impl PageCache for $ty {
+            fn access(&mut self, page: PageId) -> bool {
+                ShardedCache::access(self, page)
+            }
+
+            fn insert(&mut self, page: PageId) -> Option<PageId> {
+                ShardedCache::insert(self, page)
+            }
+
+            fn contains(&self, page: PageId) -> bool {
+                ShardedCache::contains(self, page)
+            }
+
+            fn len(&self) -> usize {
+                ShardedCache::len(self)
+            }
+
+            fn capacity(&self) -> usize {
+                ShardedCache::capacity(self)
+            }
+
+            fn clear(&mut self) {
+                ShardedCache::clear(self)
+            }
+
+            fn stats(&self) -> CacheStats {
+                ShardedCache::stats(self)
+            }
+
+            fn reset_stats(&mut self) {
+                ShardedCache::reset_stats(self)
+            }
+        }
+    };
+}
+
+delegate_page_cache!(ShardedCache);
+delegate_page_cache!(&ShardedCache);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c = ShardedCache::new(64, 3);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.capacity(), 64); // 16 per shard × 4
+        let c = ShardedCache::new(10, 4);
+        assert_eq!(c.capacity(), 12); // ceil(10/4) = 3 per shard × 4
+    }
+
+    #[test]
+    fn page_always_maps_to_the_same_shard() {
+        let c = ShardedCache::new(256, 8);
+        for i in 0..500u32 {
+            assert_eq!(c.shard_of(PageId(i)), c.shard_of(PageId(i)));
+            assert!(c.shard_of(PageId(i)) < 8);
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let c = ShardedCache::new(4, 1);
+        assert!(!c.access(PageId(1)));
+        c.insert(PageId(1));
+        assert!(c.access(PageId(1)));
+        c.insert(PageId(1)); // promote, not a fresh insertion
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+        assert_eq!(s.len, 1);
+    }
+
+    #[test]
+    fn evicts_within_the_page_shard() {
+        let c = ShardedCache::new(8, 8); // 1 page per shard
+        let mut evicted_any = false;
+        for i in 0..64u32 {
+            evicted_any |= c.insert(PageId(i)).is_some();
+            assert!(c.len() <= c.capacity());
+        }
+        assert!(evicted_any, "1-page shards must evict under churn");
+        let s = c.stats();
+        assert_eq!(s.insertions, 64);
+        assert_eq!(s.insertions - s.evictions, s.len as u64);
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let c = ShardedCache::new(16, 4);
+        c.insert(PageId(1));
+        c.access(PageId(1));
+        c.access(PageId(2));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.contains(PageId(1)), "reset_stats must keep contents");
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(PageId(1)));
+    }
+
+    #[test]
+    fn no_page_in_two_shards() {
+        let c = ShardedCache::new(128, 8);
+        for i in 0..200u32 {
+            c.insert(PageId(i % 97));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for pages in c.shard_pages() {
+            for p in pages {
+                assert!(seen.insert(p), "page {p:?} cached in two shards");
+            }
+        }
+    }
+}

@@ -1,8 +1,10 @@
-//! Property tests for the LRU prefetch cache: compare against a naive
-//! reference implementation under arbitrary operation sequences.
+//! Property tests for the page caches: the LRU compared against a naive
+//! reference implementation under arbitrary operation sequences, the
+//! sharded cache compared against the LRU, and concurrent hammering of the
+//! sharded cache.
 
 use proptest::prelude::*;
-use scout_storage::{PageId, PrefetchCache};
+use scout_storage::{PageId, PrefetchCache, ShardedCache};
 
 /// Naive LRU used as the oracle: a vector ordered MRU-first.
 #[derive(Default)]
@@ -71,6 +73,37 @@ proptest! {
         }
     }
 
+    /// §ISSUE 2: a sharded cache degenerated to one shard is
+    /// observationally equivalent to the single-threaded LRU — same access
+    /// and eviction results, same counters, same MRU order — over
+    /// arbitrary operation sequences.
+    #[test]
+    fn one_shard_matches_single_threaded_lru(cap in 1usize..12, ops in arb_ops()) {
+        let sharded = ShardedCache::new(cap, 1);
+        let mut lru = PrefetchCache::new(cap);
+        for op in ops {
+            match op {
+                Op::Access(p) => {
+                    let (a, b) = (sharded.access(PageId(p)), lru.access(PageId(p)));
+                    prop_assert_eq!(a, b, "access({}) disagreed", p);
+                }
+                Op::Insert(p) => {
+                    let (a, b) = (sharded.insert(PageId(p)), lru.insert(PageId(p)));
+                    prop_assert_eq!(a, b, "insert({}) evicted differently", p);
+                }
+            }
+            prop_assert_eq!(sharded.len(), lru.len());
+        }
+        let s = sharded.stats();
+        let l = lru.stats();
+        prop_assert_eq!(s.hits, l.hits);
+        prop_assert_eq!(s.misses, l.misses);
+        prop_assert_eq!(s.insertions, l.insertions);
+        prop_assert_eq!(s.evictions, l.evictions);
+        prop_assert_eq!(s.capacity, l.capacity);
+        prop_assert_eq!(sharded.shard_pages().remove(0), lru.pages_mru_order());
+    }
+
     #[test]
     fn hits_plus_misses_equals_accesses(cap in 1usize..8, ops in arb_ops()) {
         let mut cache = PrefetchCache::new(cap);
@@ -88,4 +121,79 @@ proptest! {
         }
         prop_assert_eq!(cache.hits() + cache.misses(), accesses);
     }
+}
+
+/// §ISSUE 2: 8 threads hammering a sharded cache concurrently never lose
+/// or duplicate a page across shards, and the atomic counters stay
+/// consistent with the final contents.
+///
+/// Each thread runs a deterministic (seeded) mix of accesses and inserts
+/// over a page universe several times the cache capacity, so shards evict
+/// continuously while other threads probe them.
+#[test]
+fn concurrent_hammering_neither_loses_nor_duplicates_pages() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const THREADS: u64 = 8;
+    const OPS_PER_THREAD: u64 = 20_000;
+    const UNIVERSE: u32 = 1_024;
+
+    let cache = ShardedCache::new(256, 8);
+    let total_accesses = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (cache, total_accesses) = (&cache, &total_accesses);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ t);
+                let mut accesses = 0u64;
+                for _ in 0..OPS_PER_THREAD {
+                    let page = PageId(rng.random_range(0..UNIVERSE));
+                    if rng.random::<bool>() {
+                        cache.access(page);
+                        accesses += 1;
+                    } else {
+                        cache.insert(page);
+                    }
+                }
+                total_accesses.fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+
+    // No page may appear in more than one shard (shard choice is a pure
+    // function of the page id, so duplication would mean a lost update
+    // corrupted a shard's internal map).
+    let mut seen = std::collections::HashSet::new();
+    let shard_pages = cache.shard_pages();
+    for pages in &shard_pages {
+        for &p in pages {
+            assert!(seen.insert(p), "page {p:?} present in two shards");
+        }
+    }
+
+    // Nothing lost: every cached page is still found by contains(), the
+    // per-shard lists sum to len(), and the conservation law
+    // insertions == evictions + len holds at quiescence.
+    for &p in &seen {
+        assert!(cache.contains(p));
+    }
+    let s = cache.stats();
+    assert_eq!(s.len, seen.len());
+    assert_eq!(shard_pages.iter().map(Vec::len).sum::<usize>(), s.len);
+    assert!(s.len <= s.capacity, "len {} exceeds capacity {}", s.len, s.capacity);
+    assert_eq!(
+        s.insertions,
+        s.evictions + s.len as u64,
+        "insertion/eviction accounting lost a page"
+    );
+    // Every access was counted exactly once (hit or miss, never both or
+    // neither) despite 8 threads bumping the same atomics.
+    assert_eq!(s.accesses(), total_accesses.load(std::sync::atomic::Ordering::Relaxed));
+
+    // The cache remains fully functional after the storm.
+    let probe = PageId(UNIVERSE + 7);
+    cache.insert(probe);
+    assert!(cache.contains(probe));
+    assert!(cache.access(probe));
 }

@@ -62,10 +62,14 @@ pub mod prelude {
     pub use scout_geometry::{Aabb, Aspect, QueryRegion, Shape, SpatialObject, Vec3};
     pub use scout_index::{FlatIndex, OrderedSpatialIndex, RTree, SpatialIndex};
     pub use scout_sim::{
-        evaluate, region_lists, run_sequence, run_sequences, ExecutorConfig, NoPrefetch,
-        Prefetcher, SimContext, TestBed,
+        evaluate, percentiles, region_lists, run_parallel, run_sequence, run_sequences,
+        ExecutorConfig, LatencyPercentiles, MultiSessionConfig, MultiSessionExecutor,
+        MultiSessionReport, NoPrefetch, Prefetcher, Schedule, Session, SessionReport, SimContext,
+        TestBed,
     };
-    pub use scout_storage::{DiskProfile, PrefetchCache};
+    pub use scout_storage::{
+        CacheStats, DiskProfile, PageCache, PrefetchCache, ShardedCache, SharedClock,
+    };
     pub use scout_synth::{
         generate_arterial, generate_lung, generate_neurons, generate_roads, generate_sequence,
         generate_sequences, ArterialParams, Dataset, Domain, LungParams, NeuronParams, RoadParams,
