@@ -1,0 +1,11 @@
+//! Hot-path kernel bench target (reduced iterations).
+//!
+//! Same measurement as the `hotpath` bin but with a minimal iteration
+//! count: `cargo bench hotpath` gives a quick reading, and
+//! `cargo bench --no-run` in CI keeps the kernel harness compiling.
+//! The authoritative artifact is written by the bin (`BENCH_hotpath.json`).
+
+fn main() {
+    let report = scout_bench::hotpath::run(2);
+    println!("{}", report.to_json());
+}

@@ -1,0 +1,31 @@
+//! Emits the hot-path perf-trajectory artifact.
+//!
+//! Runs the seed-vs-flat kernel microbenchmarks
+//! ([`scout_bench::hotpath`]) and writes `BENCH_hotpath.json` into the
+//! current directory (run from the repo root; CI uploads the file as an
+//! artifact).
+//!
+//! Run with: `cargo run -p scout-bench --bin hotpath --release`
+
+use std::time::Instant;
+
+fn main() {
+    let iters: usize =
+        std::env::var("SCOUT_HOTPATH_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let t0 = Instant::now();
+    let report = scout_bench::hotpath::run(iters);
+    let json = report.to_json();
+    eprintln!("{json}");
+    eprintln!("hotpath run in {:.1?}", t0.elapsed());
+    for k in &report.kernels {
+        eprintln!(
+            "  {:>16}: seed {:>10.1} µs  flat {:>10.1} µs  ({:.2}x)",
+            k.name,
+            k.seed_us,
+            k.flat_us,
+            k.speedup()
+        );
+    }
+    std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote BENCH_hotpath.json");
+}

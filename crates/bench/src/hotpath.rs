@@ -1,0 +1,212 @@
+//! Hot-path kernel microbenchmarks: seed vs flat implementations.
+//!
+//! Times the four per-query kernels the zero-allocation refactor targets —
+//! `grid_hash`, `components`, `pages_in_region`, `k_nearest_pages` — on a
+//! synthetic 100k-object neuron dataset, against the checked-in seed
+//! implementations ([`scout_core::reference::ReferenceGraph`],
+//! [`scout_index::reference::ReferenceRTree`]). Both sides run in the same
+//! process on the same inputs, so the recorded ratio is robust to host
+//! speed; the absolute µs are machine-dependent.
+//!
+//! The `hotpath` **bin** writes the machine-readable result to
+//! `BENCH_hotpath.json` (the perf-trajectory artifact CI uploads); the
+//! `hotpath` **bench target** runs a reduced iteration count and prints
+//! the JSON, serving as the compile + smoke check.
+
+use scout_core::reference::ReferenceGraph;
+use scout_core::{ResultGraph, ScoutConfig};
+use scout_geometry::{Aabb, ObjectId, QueryRegion, Vec3};
+use scout_index::reference::ReferenceRTree;
+use scout_index::{KnnScratch, RTree, SpatialIndex};
+use scout_sim::QueryScratch;
+use scout_synth::{generate_neurons, NeuronParams};
+use std::time::Instant;
+
+/// One kernel's before/after wall-clock measurement, in µs per call.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (JSON key).
+    pub name: &'static str,
+    /// Seed implementation, µs per call.
+    pub seed_us: f64,
+    /// Flat (CSR / SoA / scratch-reusing) implementation, µs per call.
+    pub flat_us: f64,
+}
+
+impl KernelTiming {
+    /// seed / flat — how many times faster the flat implementation is.
+    pub fn speedup(&self) -> f64 {
+        self.seed_us / self.flat_us.max(1e-9)
+    }
+}
+
+/// A full hot-path measurement run.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Dataset object count.
+    pub objects: usize,
+    /// Pages in the R-tree layout.
+    pub pages: usize,
+    /// Result objects fed to the graph kernels.
+    pub result_objects: usize,
+    /// Timed iterations per kernel.
+    pub iters: usize,
+    /// Grid resolution used for grid hashing.
+    pub grid_resolution: u32,
+    /// Per-kernel timings.
+    pub kernels: Vec<KernelTiming>,
+}
+
+impl HotpathReport {
+    /// The timing of one kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelTiming> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Serializes the report as pretty-printed JSON (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"dataset\": {{ \"objects\": {}, \"pages\": {}, \"result_objects\": {} }},\n",
+            self.objects, self.pages, self.result_objects
+        ));
+        out.push_str(&format!(
+            "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {} }},\n",
+            self.iters, self.grid_resolution
+        ));
+        out.push_str("  \"kernels\": {\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let comma = if i + 1 < self.kernels.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {{ \"seed_us\": {:.2}, \"flat_us\": {:.2}, \"speedup\": {:.2} }}{}\n",
+                k.name,
+                k.seed_us,
+                k.flat_us,
+                k.speedup(),
+                comma
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Times `f` after one warmup call; returns µs/call.
+///
+/// Runs at least `min_iters` calls and keeps going until ~50 ms of wall
+/// clock have accumulated (capped at 1000 × `min_iters`), so microsecond
+/// kernels get enough calls for a stable mean.
+fn time_us(min_iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: fault pages in, grow scratch capacity
+    let mut calls = 0usize;
+    let t0 = Instant::now();
+    loop {
+        f();
+        calls += 1;
+        if (calls >= min_iters && t0.elapsed().as_secs_f64() >= 0.05)
+            || calls >= min_iters.saturating_mul(1000)
+        {
+            break;
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / calls as f64
+}
+
+/// Runs the hot-path kernels on a ~100k-object neuron dataset.
+///
+/// `iters` is the timed iteration count per kernel (the bin uses enough
+/// for stable numbers; the bench smoke target uses a couple).
+pub fn run(iters: usize) -> HotpathReport {
+    let iters = iters.max(1);
+    let dataset = generate_neurons(&NeuronParams::with_target_objects(100_000), crate::seed());
+    let objects = &dataset.objects;
+    let result_ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+    let region = QueryRegion::from_aabb(dataset.bounds);
+    let resolution = ScoutConfig::default().grid_resolution;
+    let simplification = ScoutConfig::default().simplification;
+
+    let tree = RTree::bulk_load(objects);
+    let seed_tree = ReferenceRTree::bulk_load(objects);
+    let mut kernels = Vec::new();
+
+    // grid_hash: full result-graph construction over the result ids.
+    let mut scratch = QueryScratch::new();
+    let mut graph = ResultGraph::default();
+    let flat_us = time_us(iters, || {
+        graph.build_grid_hash(
+            &mut scratch,
+            objects,
+            &result_ids,
+            &region,
+            resolution,
+            simplification,
+        );
+    });
+    let seed_us = time_us(iters, || {
+        let (g, _) =
+            ReferenceGraph::grid_hash(objects, &result_ids, &region, resolution, simplification);
+        std::hint::black_box(g.vertex_count());
+    });
+    kernels.push(KernelTiming { name: "grid_hash", seed_us, flat_us });
+
+    // components: labeling over the built graphs.
+    let (seed_graph, _) =
+        ReferenceGraph::grid_hash(objects, &result_ids, &region, resolution, simplification);
+    let flat_us = time_us(iters, || {
+        let n = graph.components_into(&mut scratch.components, &mut scratch.stack);
+        std::hint::black_box(n);
+    });
+    let seed_us = time_us(iters, || {
+        let (_, n) = seed_graph.components();
+        std::hint::black_box(n);
+    });
+    kernels.push(KernelTiming { name: "components", seed_us, flat_us });
+
+    // pages_in_region: a query-sized window in the middle of the tissue.
+    let center = dataset.bounds.center();
+    let extent = dataset.bounds.extent() * 0.25;
+    let window = Aabb::from_center_extent(center, extent);
+    let flat_us = time_us(iters, || {
+        std::hint::black_box(tree.pages_in_region(&window).len());
+    });
+    let seed_us = time_us(iters, || {
+        std::hint::black_box(seed_tree.pages_in_region(&window).len());
+    });
+    kernels.push(KernelTiming { name: "pages_in_region", seed_us, flat_us });
+
+    // k_nearest_pages: a sweep of probe points, k = 16.
+    let probes: Vec<Vec3> = (0..32)
+        .map(|i| {
+            let t = i as f64 / 31.0;
+            dataset.bounds.min + (dataset.bounds.max - dataset.bounds.min) * t
+        })
+        .collect();
+    let mut knn_scratch = KnnScratch::new();
+    let mut knn_out = Vec::new();
+    let flat_us = time_us(iters, || {
+        for &p in &probes {
+            tree.k_nearest_pages_into(p, 16, &mut knn_scratch, &mut knn_out);
+            std::hint::black_box(knn_out.len());
+        }
+    });
+    let seed_us = time_us(iters, || {
+        for &p in &probes {
+            std::hint::black_box(seed_tree.k_nearest_pages(p, 16).len());
+        }
+    });
+    kernels.push(KernelTiming {
+        name: "k_nearest_pages",
+        seed_us: seed_us / probes.len() as f64,
+        flat_us: flat_us / probes.len() as f64,
+    });
+
+    HotpathReport {
+        objects: objects.len(),
+        pages: tree.layout().page_count(),
+        result_objects: result_ids.len(),
+        iters,
+        grid_resolution: resolution,
+        kernels,
+    }
+}

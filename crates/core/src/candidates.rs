@@ -109,14 +109,19 @@ impl CandidateTracker {
 
     /// Commits this query's (forward) exit objects and predictions as the
     /// reference for the next query.
+    ///
+    /// Predictions are passed as a slice and copied into the tracker's own
+    /// buffer, so the caller can stage them in reusable scratch and the
+    /// tracker's capacity amortizes across queries.
     pub fn commit(
         &mut self,
         exit_objects: HashSet<ObjectId>,
-        predictions: Vec<Vec3>,
+        predictions: &[Vec3],
         was_reset: bool,
     ) {
         self.prev_exit_ids = exit_objects;
-        self.prev_predictions = predictions;
+        self.prev_predictions.clear();
+        self.prev_predictions.extend_from_slice(predictions);
         if was_reset {
             self.resets += 1;
         }
@@ -179,7 +184,7 @@ mod tests {
         let mut t = CandidateTracker::new();
         // Previous exit object: object 1 on the lower chain.
         let lower_comp = comp[g.vertex_of(ObjectId(1)).unwrap() as usize];
-        t.commit([ObjectId(1)].into_iter().collect(), Vec::new(), false);
+        t.commit([ObjectId(1)].into_iter().collect(), &[], false);
         let c = t.continuing_components(&objects, &g, &comp, 1.0);
         assert_eq!(c.components.len(), 1);
         assert!(c.components.contains(&lower_comp));
@@ -190,7 +195,7 @@ mod tests {
         let (objects, g, comp) = fixture();
         let mut t = CandidateTracker::new();
         // No shared exit ids but a prediction near the upper chain at y=8.
-        t.commit(HashSet::new(), vec![Vec3::new(3.0, 8.0, 5.0)], false);
+        t.commit(HashSet::new(), &[Vec3::new(3.0, 8.0, 5.0)], false);
         let c = t.continuing_components(&objects, &g, &comp, 2.0);
         assert_eq!(c.components.len(), 1);
         let upper_comp = comp[g.vertex_of(ObjectId(5)).unwrap() as usize];
@@ -201,7 +206,7 @@ mod tests {
     fn far_prediction_matches_nothing() {
         let (objects, g, comp) = fixture();
         let mut t = CandidateTracker::new();
-        t.commit(HashSet::new(), vec![Vec3::new(500.0, 500.0, 500.0)], false);
+        t.commit(HashSet::new(), &[Vec3::new(500.0, 500.0, 500.0)], false);
         let c = t.continuing_components(&objects, &g, &comp, 2.0);
         assert!(c.components.is_empty());
     }
@@ -210,8 +215,8 @@ mod tests {
     fn reset_counter_and_clear() {
         let (_, _g, _comp) = fixture();
         let mut t = CandidateTracker::new();
-        t.commit(HashSet::new(), Vec::new(), true);
-        t.commit(HashSet::new(), Vec::new(), true);
+        t.commit(HashSet::new(), &[], true);
+        t.commit(HashSet::new(), &[], true);
         assert_eq!(t.resets(), 2);
         t.clear();
         assert_eq!(t.resets(), 0);

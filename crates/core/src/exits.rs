@@ -71,12 +71,7 @@ fn exit_of_segment(seg: &Segment, region: &QueryRegion) -> Option<(Vec3, Vec3)> 
 /// Returns the exits plus the number of traversal steps performed — the
 /// DFS over candidate structures whose cost Figure 16 measures.
 ///
-/// The outward direction of each exit is smoothed: a single small object
-/// (a 3 µm cylinder) carries a very noisy local direction, so the reported
-/// direction blends the boundary object's own direction with the chord
-/// from the component's interior centroid to the exit point — the course
-/// of the structure *across* the query, which is what linear extrapolation
-/// (§4.4) should continue.
+/// Allocating wrapper around [`find_exits_into`] for one-shot callers.
 pub fn find_exits(
     objects: &[SpatialObject],
     graph: &ResultGraph,
@@ -86,11 +81,55 @@ pub fn find_exits(
     simplification: Simplification,
 ) -> (Vec<Exit>, u64) {
     let mut exits = Vec::new();
+    let mut centroid_sum = Vec::new();
+    let mut centroid_n = Vec::new();
+    let steps = find_exits_into(
+        objects,
+        graph,
+        component_of,
+        region,
+        components_filter,
+        simplification,
+        &mut centroid_sum,
+        &mut centroid_n,
+        &mut exits,
+    );
+    (exits, steps)
+}
+
+/// [`find_exits`] into caller-provided buffers: `out` receives the exits
+/// (cleared first), `centroid_sum`/`centroid_n` are per-component
+/// accumulator scratch — on the hot path all three come from the session's
+/// [`scout_sim::QueryScratch`] arena plus the prefetcher's exit buffer.
+///
+/// The outward direction of each exit is smoothed: a single small object
+/// (a 3 µm cylinder) carries a very noisy local direction, so the reported
+/// direction blends the boundary object's own direction with the chord
+/// from the component's interior centroid to the exit point — the course
+/// of the structure *across* the query, which is what linear extrapolation
+/// (§4.4) should continue.
+// Hot-path entry point: the last three parameters are scratch buffers, not
+// a bundleable configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn find_exits_into(
+    objects: &[SpatialObject],
+    graph: &ResultGraph,
+    component_of: &[u32],
+    region: &QueryRegion,
+    components_filter: Option<&HashSet<u32>>,
+    simplification: Simplification,
+    centroid_sum: &mut Vec<Vec3>,
+    centroid_n: &mut Vec<u32>,
+    out: &mut Vec<Exit>,
+) -> u64 {
+    out.clear();
     let mut steps: u64 = 0;
     // Pass 1: per-component interior centroids.
     let comp_count = component_of.iter().copied().max().map_or(0, |m| m as usize + 1);
-    let mut centroid_sum = vec![Vec3::ZERO; comp_count];
-    let mut centroid_n = vec![0u32; comp_count];
+    centroid_sum.clear();
+    centroid_sum.resize(comp_count, Vec3::ZERO);
+    centroid_n.clear();
+    centroid_n.resize(comp_count, 0u32);
     for v in 0..graph.vertex_count() as VertexId {
         let comp = component_of[v as usize] as usize;
         centroid_sum[comp] += objects[graph.object_id(v).index()].centroid();
@@ -118,10 +157,10 @@ pub fn find_exits(
             } else {
                 local_dir
             };
-            exits.push(Exit { point, dir, vertex: v, component: comp });
+            out.push(Exit { point, dir, vertex: v, component: comp });
         }
     }
-    (exits, steps)
+    steps
 }
 
 /// Linear extrapolation of an exit: the predicted point `distance` beyond

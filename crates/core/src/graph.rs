@@ -7,23 +7,66 @@
 //! to equi-volume grid cells and objects sharing a cell are connected.
 //! When the guiding structure is explicit (§4.1, polygon meshes and road
 //! networks) the dataset's own adjacency is used directly.
+//!
+//! ## Memory layout
+//!
+//! The graph is stored in **CSR** (compressed sparse row) form: one
+//! offsets array and one contiguous neighbor array, plus a dense
+//! `object → vertex` table built from the result-id slice (sorted-pair
+//! fallback for spread-out id ranges) — flat vectors only, no per-vertex
+//! allocations, no hash tables. Construction is counting-sort passes over
+//! scratch buffers borrowed from a
+//! [`QueryScratch`](scout_sim::QueryScratch) arena, so a warmed
+//! session rebuilds its graph every query without touching the allocator
+//! (DESIGN.md §6). The pre-CSR adjacency-list implementation survives as
+//! [`crate::reference::ReferenceGraph`], the property-test oracle and
+//! bench baseline.
+//!
+//! Vertex numbering (result order), the edge set and the component
+//! labeling are identical to the reference build, so simulation traces are
+//! unchanged; only the neighbor ordering is now canonical (ascending)
+//! instead of hash-map incidental.
 
 use scout_geometry::{ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid};
-use scout_sim::CpuUnits;
-use std::collections::HashMap;
+use scout_sim::{CpuUnits, QueryScratch};
 
 /// Local vertex index within one result graph.
 pub type VertexId = u32;
 
-/// The per-query-result object graph.
+/// The dense reverse index is used when the result ids span at most this
+/// many times the result size (otherwise the table would be mostly holes
+/// and the sorted-pair fallback wins).
+const DENSE_REMAP_SLACK: usize = 4;
+
+/// Grid hashing groups its `(cell, vertex)` pairs with a counting sort
+/// when the cell count is at most this many times the pair count
+/// (otherwise the histogram would be mostly holes and a comparison sort
+/// wins).
+const CELL_HISTOGRAM_SLACK: usize = 4;
+
+/// The per-query-result object graph, in CSR form.
 #[derive(Debug, Clone, Default)]
 pub struct ResultGraph {
     /// Dataset object ids, indexed by vertex.
     object_ids: Vec<ObjectId>,
-    /// Vertex adjacency lists.
-    adjacency: Vec<Vec<VertexId>>,
-    /// Reverse map object id → vertex.
-    vertex_of: HashMap<ObjectId, VertexId>,
+    /// CSR row offsets into `targets`; length `vertex_count() + 1`.
+    offsets: Vec<u32>,
+    /// CSR neighbor array: each undirected edge appears twice, neighbors
+    /// of one vertex stored contiguously in ascending order.
+    targets: Vec<VertexId>,
+    /// Dense reverse index: `remap_dense[oid - remap_base]` is the vertex
+    /// of object `oid` (`u32::MAX` = absent). Built from the result-id
+    /// slice when the id range is compact — the common case, since query
+    /// results are spatially local. The role the seed implementation gave
+    /// a `HashMap`.
+    remap_dense: Vec<u32>,
+    /// Lowest result object id (offset of `remap_dense`).
+    remap_base: u32,
+    /// Sparse fallback: `(object, vertex)` pairs sorted by object id,
+    /// used (empty `remap_dense`) when the id range is too spread out.
+    remap_pairs: Vec<(ObjectId, VertexId)>,
+    /// Undirected edge count, fixed at construction (was an O(V) fold).
+    edge_count: usize,
 }
 
 impl ResultGraph {
@@ -33,8 +76,9 @@ impl ResultGraph {
     }
 
     /// Number of undirected edges.
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.edge_count
     }
 
     /// The dataset object behind a vertex.
@@ -46,13 +90,26 @@ impl ResultGraph {
     /// The vertex of a dataset object, if present in this result.
     #[inline]
     pub fn vertex_of(&self, o: ObjectId) -> Option<VertexId> {
-        self.vertex_of.get(&o).copied()
+        if !self.remap_dense.is_empty() {
+            let idx = o.0.checked_sub(self.remap_base)? as usize;
+            match self.remap_dense.get(idx) {
+                Some(&v) if v != u32::MAX => Some(v),
+                _ => None,
+            }
+        } else {
+            self.remap_pairs
+                .binary_search_by_key(&o, |&(oid, _)| oid)
+                .ok()
+                .map(|i| self.remap_pairs[i].1)
+        }
     }
 
-    /// Neighbors of a vertex.
+    /// Neighbors of a vertex, in ascending vertex order.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adjacency[v as usize]
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.targets[start..end]
     }
 
     /// All vertices' object ids.
@@ -60,45 +117,51 @@ impl ResultGraph {
         &self.object_ids
     }
 
-    /// Estimated resident size of the graph structures (adjacency list +
-    /// reverse map), for the §8.2 memory measurements.
+    /// Resident size of the graph structures (CSR arrays + reverse index),
+    /// for the §8.2 memory measurements. Exact for the flat layout: no
+    /// hash-bucket overhead, no per-vertex `Vec` headers.
     pub fn memory_bytes(&self) -> usize {
-        let vertex_bytes = self.object_ids.len() * std::mem::size_of::<ObjectId>();
-        let adj_bytes: usize = self
-            .adjacency
-            .iter()
-            .map(|l| {
-                l.len() * std::mem::size_of::<VertexId>() + std::mem::size_of::<Vec<VertexId>>()
-            })
-            .sum();
-        // HashMap entries: key + value + bucket overhead (~1.6x load factor).
-        let map_bytes = self.vertex_of.len() * (std::mem::size_of::<(ObjectId, VertexId)>() * 2);
-        vertex_bytes + adj_bytes + map_bytes
+        self.object_ids.len() * std::mem::size_of::<ObjectId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.remap_dense.len() * std::mem::size_of::<u32>()
+            + self.remap_pairs.len() * std::mem::size_of::<(ObjectId, VertexId)>()
     }
 
-    fn add_vertex(&mut self, o: ObjectId) -> VertexId {
-        let v = self.object_ids.len() as VertexId;
-        self.object_ids.push(o);
-        self.adjacency.push(Vec::new());
-        self.vertex_of.insert(o, v);
-        v
-    }
-
-    fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
-        if a == b || self.adjacency[a as usize].contains(&b) {
-            return false;
-        }
-        self.adjacency[a as usize].push(b);
-        self.adjacency[b as usize].push(a);
-        true
+    /// Empties the graph, retaining every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.object_ids.clear();
+        self.offsets.clear();
+        self.targets.clear();
+        self.remap_dense.clear();
+        self.remap_base = 0;
+        self.remap_pairs.clear();
+        self.edge_count = 0;
     }
 
     /// Connected components; returns (component id per vertex, count).
+    ///
+    /// Allocating wrapper around [`ResultGraph::components_into`].
     pub fn components(&self) -> (Vec<u32>, usize) {
-        let n = self.vertex_count();
-        let mut comp = vec![u32::MAX; n];
-        let mut next = 0u32;
+        let mut comp = Vec::new();
         let mut stack = Vec::new();
+        let count = self.components_into(&mut comp, &mut stack);
+        (comp, count)
+    }
+
+    /// Connected components into caller-provided buffers (the hot path —
+    /// `comp` and `stack` come from the session's scratch arena). Returns
+    /// the component count; `comp[v]` is vertex `v`'s label.
+    ///
+    /// Labels are assigned in first-encounter order over ascending vertex
+    /// ids, so the labeling depends only on the edge *set* — identical to
+    /// the reference implementation.
+    pub fn components_into(&self, comp: &mut Vec<u32>, stack: &mut Vec<u32>) -> usize {
+        let n = self.vertex_count();
+        comp.clear();
+        comp.resize(n, u32::MAX);
+        stack.clear();
+        let mut next = 0u32;
         for v in 0..n as u32 {
             if comp[v as usize] != u32::MAX {
                 continue;
@@ -115,7 +178,8 @@ impl ResultGraph {
             }
             next += 1;
         }
-        (comp, next as usize)
+        debug_assert!(stack.is_empty(), "component stack must drain");
+        next as usize
     }
 
     /// Builds the graph by grid hashing (§4.2) over the given result
@@ -123,6 +187,9 @@ impl ResultGraph {
     ///
     /// Returns the graph and the CPU work units spent (object inserts +
     /// created edges), which the simulator converts to time.
+    ///
+    /// Allocating wrapper around [`ResultGraph::build_grid_hash`] for
+    /// one-shot callers; steady-state paths reuse a graph + scratch pair.
     pub fn grid_hash(
         objects: &[SpatialObject],
         result_ids: &[ObjectId],
@@ -131,62 +198,314 @@ impl ResultGraph {
         simplification: scout_geometry::Simplification,
     ) -> (ResultGraph, CpuUnits) {
         let mut graph = ResultGraph::default();
-        let mut units = CpuUnits::default();
-        if result_ids.is_empty() {
-            return (graph, units);
-        }
-        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
-        // cell id -> vertices mapped to it
-        let mut cells: HashMap<u32, Vec<VertexId>> = HashMap::new();
-        let mut scratch: Vec<u32> = Vec::new();
-        for &oid in result_ids {
-            let v = graph.add_vertex(oid);
-            units.graph_object_inserts += 1;
-            let simplified = objects[oid.index()].shape.simplified(simplification);
-            scratch.clear();
-            grid.cells_for_simplified(&simplified, &mut scratch);
-            scratch.sort_unstable();
-            scratch.dedup();
-            for &c in &scratch {
-                cells.entry(c).or_default().push(v);
-            }
-        }
-        // Connect objects sharing a cell.
-        for members in cells.values() {
-            for i in 0..members.len() {
-                for j in (i + 1)..members.len() {
-                    if graph.add_edge(members[i], members[j]) {
-                        units.graph_edge_inserts += 1;
-                    }
-                }
-            }
-        }
+        let mut scratch = QueryScratch::new();
+        let units = graph.build_grid_hash(
+            &mut scratch,
+            objects,
+            result_ids,
+            region,
+            resolution,
+            simplification,
+        );
         (graph, units)
     }
 
     /// Builds the graph from an explicit dataset adjacency (§4.1),
     /// restricted to the result objects.
+    ///
+    /// Allocating wrapper around [`ResultGraph::build_explicit`].
     pub fn from_explicit(
         adjacency: &ObjectAdjacency,
         result_ids: &[ObjectId],
     ) -> (ResultGraph, CpuUnits) {
         let mut graph = ResultGraph::default();
+        let mut scratch = QueryScratch::new();
+        let units = graph.build_explicit(&mut scratch, adjacency, result_ids);
+        (graph, units)
+    }
+
+    /// Rebuilds this graph in place by grid hashing, reusing its own
+    /// buffers and the scratch arena. Zero heap allocation once both have
+    /// warmed to the workload's result sizes.
+    ///
+    /// Two passes: (1) every object's simplified geometry is mapped to
+    /// grid cells, emitting `(cell, vertex)` pairs; (2) the sorted pair
+    /// list yields, per cell run, the co-located vertex pairs, which are
+    /// sorted and deduplicated into the CSR adjacency — replacing the
+    /// seed's per-cell `HashMap` entries and O(degree) `contains` checks.
+    pub fn build_grid_hash(
+        &mut self,
+        scratch: &mut QueryScratch,
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        region: &QueryRegion,
+        resolution: u32,
+        simplification: scout_geometry::Simplification,
+    ) -> CpuUnits {
+        self.clear();
+        let mut units = CpuUnits::default();
+        if result_ids.is_empty() {
+            self.offsets.push(0);
+            return units;
+        }
+        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
+
+        // Pass 1: vertices (result order — the numbering every consumer
+        // relies on) and (cell, vertex) pairs.
+        scratch.cell_pairs.clear();
+        for (v, &oid) in result_ids.iter().enumerate() {
+            self.object_ids.push(oid);
+            units.graph_object_inserts += 1;
+            let simplified = objects[oid.index()].shape.simplified(simplification);
+            scratch.cells.clear();
+            grid.cells_for_simplified(&simplified, &mut scratch.cells);
+            scratch.cells.sort_unstable();
+            scratch.cells.dedup();
+            for &c in &scratch.cells {
+                scratch.cell_pairs.push((c, v as u32));
+            }
+        }
+        self.rebuild_remap();
+
+        // Pass 2: group pairs by cell — a counting sort over cell ids when
+        // the grid is small enough for a histogram (it always is for the
+        // Figure-13e resolutions), a comparison sort otherwise. Grouping
+        // is all the edge passes need; within a cell run the vertices stay
+        // in ascending (result) order either way.
+        let cell_count = grid.cell_count() as usize;
+        if cell_count <= scratch.cell_pairs.len().max(1024) * CELL_HISTOGRAM_SLACK {
+            // Histogram + stable scatter via the counts buffer; the edges
+            // buffer doubles as the same-typed scatter destination.
+            scratch.counts.clear();
+            scratch.counts.resize(cell_count, 0);
+            for &(c, _) in &scratch.cell_pairs {
+                scratch.counts[c as usize] += 1;
+            }
+            let mut start = 0u32;
+            for c in scratch.counts.iter_mut() {
+                let count = *c;
+                *c = start;
+                start += count;
+            }
+            scratch.edges.clear();
+            scratch.edges.resize(scratch.cell_pairs.len(), (0, 0));
+            for &(c, v) in &scratch.cell_pairs {
+                scratch.edges[scratch.counts[c as usize] as usize] = (c, v);
+                scratch.counts[c as usize] += 1;
+            }
+            std::mem::swap(&mut scratch.cell_pairs, &mut scratch.edges);
+        } else {
+            scratch.cell_pairs.sort_unstable();
+        }
+
+        // Pass 3: degrees (duplicates included) straight off the cell
+        // runs — every member of a k-cell gains k−1 incidences.
+        let n = result_ids.len();
+        scratch.counts.clear();
+        scratch.counts.resize(n, 0);
+        let pairs = &scratch.cell_pairs;
+        let mut i = 0;
+        while i < pairs.len() {
+            let cell = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == cell {
+                j += 1;
+            }
+            let k = (j - i) as u32;
+            for &(_, v) in &pairs[i..j] {
+                scratch.counts[v as usize] += k - 1;
+            }
+            i = j;
+        }
+        let total = Self::prefix_sum_offsets(&mut self.offsets, &scratch.counts);
+        // Pass 4: scatter both directions of every co-located pair into
+        // the rows, reusing the histogram as per-row write cursors.
+        self.targets.clear();
+        self.targets.resize(total, 0);
+        for c in scratch.counts.iter_mut() {
+            *c = 0;
+        }
+        let mut i = 0;
+        while i < pairs.len() {
+            let cell = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == cell {
+                j += 1;
+            }
+            for a in i..j {
+                for b in (a + 1)..j {
+                    let (va, vb) = (pairs[a].1, pairs[b].1);
+                    self.targets
+                        [(self.offsets[va as usize] + scratch.counts[va as usize]) as usize] = vb;
+                    scratch.counts[va as usize] += 1;
+                    self.targets
+                        [(self.offsets[vb as usize] + scratch.counts[vb as usize]) as usize] = va;
+                    scratch.counts[vb as usize] += 1;
+                }
+            }
+            i = j;
+        }
+        self.dedup_rows(&mut units);
+        units
+    }
+
+    /// Rebuilds this graph in place from an explicit dataset adjacency,
+    /// restricted to the result objects, reusing buffers like
+    /// [`ResultGraph::build_grid_hash`].
+    pub fn build_explicit(
+        &mut self,
+        scratch: &mut QueryScratch,
+        adjacency: &ObjectAdjacency,
+        result_ids: &[ObjectId],
+    ) -> CpuUnits {
+        self.clear();
         let mut units = CpuUnits::default();
         for &oid in result_ids {
-            graph.add_vertex(oid);
+            self.object_ids.push(oid);
             units.graph_object_inserts += 1;
         }
-        for &oid in result_ids {
-            let v = graph.vertex_of(oid).expect("vertex was just added");
+        self.rebuild_remap();
+        scratch.edges.clear();
+        for (v, &oid) in result_ids.iter().enumerate() {
+            let v = v as u32;
             for &nb in adjacency.neighbors(oid) {
-                if let Some(w) = graph.vertex_of(nb) {
-                    if graph.add_edge(v, w) {
-                        units.graph_edge_inserts += 1;
+                if let Some(w) = self.vertex_of(nb) {
+                    if w != v {
+                        // Both directions: the dataset adjacency may list
+                        // an edge on one endpoint only; dedup below makes
+                        // the result symmetric either way.
+                        scratch.edges.push((v, w));
+                        scratch.edges.push((w, v));
                     }
                 }
             }
         }
-        (graph, units)
+        self.finish_csr(scratch, &mut units);
+        units
+    }
+
+    /// Rebuilds the reverse index from `object_ids`: a dense offset table
+    /// when the result-id range is compact (query results are spatially
+    /// local, so it almost always is), sorted pairs otherwise.
+    fn rebuild_remap(&mut self) {
+        self.remap_dense.clear();
+        self.remap_pairs.clear();
+        let n = self.object_ids.len();
+        if n == 0 {
+            return;
+        }
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        for &o in &self.object_ids {
+            min = min.min(o.0);
+            max = max.max(o.0);
+        }
+        let range = (max - min) as usize + 1;
+        if range <= n.max(1024) * DENSE_REMAP_SLACK {
+            self.remap_base = min;
+            self.remap_dense.resize(range, u32::MAX);
+            for (v, &o) in self.object_ids.iter().enumerate() {
+                debug_assert_eq!(
+                    self.remap_dense[(o.0 - min) as usize],
+                    u32::MAX,
+                    "result ids must be unique"
+                );
+                self.remap_dense[(o.0 - min) as usize] = v as u32;
+            }
+        } else {
+            self.remap_pairs
+                .extend(self.object_ids.iter().enumerate().map(|(v, &o)| (o, v as u32)));
+            self.remap_pairs.sort_unstable();
+            debug_assert!(
+                self.remap_pairs.windows(2).all(|w| w[0].0 != w[1].0),
+                "result ids must be unique"
+            );
+        }
+    }
+
+    /// Lays the scratch edge multiset (both directions present) out as
+    /// CSR: degree histogram, scatter, then [`ResultGraph::dedup_rows`].
+    /// Used by the explicit-adjacency build; the grid build scatters
+    /// straight from its cell runs without materializing an edge list.
+    fn finish_csr(&mut self, scratch: &mut QueryScratch, units: &mut CpuUnits) {
+        let n = self.object_ids.len();
+        let edges = &scratch.edges;
+        // Degree histogram (duplicates included).
+        scratch.counts.clear();
+        scratch.counts.resize(n, 0);
+        for &(a, _) in edges {
+            scratch.counts[a as usize] += 1;
+        }
+        let total = Self::prefix_sum_offsets(&mut self.offsets, &scratch.counts);
+        debug_assert_eq!(total, edges.len());
+        // Scatter, reusing the histogram as per-row write cursors.
+        self.targets.clear();
+        self.targets.resize(total, 0);
+        for c in scratch.counts.iter_mut() {
+            *c = 0;
+        }
+        for &(a, b) in edges {
+            let idx = self.offsets[a as usize] + scratch.counts[a as usize];
+            self.targets[idx as usize] = b;
+            scratch.counts[a as usize] += 1;
+        }
+        self.dedup_rows(units);
+    }
+
+    /// Prefix-sums the per-row incidence counts into `offsets` and
+    /// returns the total. Accumulates in `u64` — the counts include
+    /// duplicates, so on a pathologically coarse grid the total can
+    /// exceed `u32::MAX` even though the deduped graph would fit — and
+    /// fails loudly instead of wrapping into a corrupt layout.
+    fn prefix_sum_offsets(offsets: &mut Vec<u32>, counts: &[u32]) -> usize {
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        assert!(
+            total <= u32::MAX as u64,
+            "result graph incidence count {total} overflows the u32 CSR offsets \
+             (coarsen less or shrink the result)"
+        );
+        offsets.clear();
+        offsets.reserve(counts.len() + 1);
+        offsets.push(0);
+        let mut sum = 0u32;
+        for &c in counts {
+            sum += c;
+            offsets.push(sum);
+        }
+        total as usize
+    }
+
+    /// Sorts + dedups every CSR row in place, compacting rows left as
+    /// they shrink (the write cursor never overtakes a row's old start),
+    /// and fixes up offsets and the edge counter. Each row is short —
+    /// O(Σ row·log row) total, no sort over the full edge list. Charges
+    /// one `graph_edge_inserts` unit per unique undirected edge — the
+    /// same count the seed's `add_edge` accumulated.
+    fn dedup_rows(&mut self, units: &mut CpuUnits) {
+        let n = self.object_ids.len();
+        let mut write = 0usize;
+        for v in 0..n {
+            let start = self.offsets[v] as usize;
+            let end = self.offsets[v + 1] as usize;
+            let row = &mut self.targets[start..end];
+            row.sort_unstable();
+            let mut unique = 0usize;
+            for i in 0..row.len() {
+                if unique == 0 || row[i] != row[unique - 1] {
+                    row[unique] = row[i];
+                    unique += 1;
+                }
+            }
+            debug_assert!(write <= start, "compaction cursor overtook row start");
+            self.offsets[v] = write as u32;
+            self.targets.copy_within(start..start + unique, write);
+            write += unique;
+        }
+        self.offsets[n] = write as u32;
+        self.targets.truncate(write);
+        debug_assert_eq!(self.targets.len() % 2, 0, "undirected edges appear twice");
+        self.edge_count = self.targets.len() / 2;
+        units.graph_edge_inserts += self.edge_count as u64;
     }
 }
 
@@ -307,5 +626,54 @@ mod tests {
             ResultGraph::grid_hash(&objects, &ids, &region(), 32_768, Simplification::Point);
         let (_, count) = g.components();
         assert!(count >= 3, "expected mostly disconnected, got {count}");
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let (objects, ids) = chain_dataset();
+        let (g, _) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 4096, Simplification::Segment);
+        for v in 0..g.vertex_count() as u32 {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors of {v}: {ns:?}");
+            for &w in ns {
+                assert_ne!(w, v, "self loop at {v}");
+                assert!(g.neighbors(w).contains(&v), "edge {v}-{w} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let (objects, ids) = chain_dataset();
+        let mut scratch = QueryScratch::new();
+        let mut g = ResultGraph::default();
+        // Build once on a subset, then rebuild on the full result: the
+        // rebuilt graph must equal a fresh build.
+        g.build_grid_hash(
+            &mut scratch,
+            &objects,
+            &ids[..3],
+            &region(),
+            4096,
+            Simplification::Segment,
+        );
+        let units = g.build_grid_hash(
+            &mut scratch,
+            &objects,
+            &ids,
+            &region(),
+            4096,
+            Simplification::Segment,
+        );
+        let (fresh, fresh_units) =
+            ResultGraph::grid_hash(&objects, &ids, &region(), 4096, Simplification::Segment);
+        assert_eq!(g.vertex_count(), fresh.vertex_count());
+        assert_eq!(g.edge_count(), fresh.edge_count());
+        assert_eq!(units, fresh_units);
+        for v in 0..g.vertex_count() as u32 {
+            assert_eq!(g.neighbors(v), fresh.neighbors(v));
+            assert_eq!(g.object_id(v), fresh.object_id(v));
+        }
     }
 }

@@ -18,6 +18,7 @@ pub mod graph;
 pub mod kmeans;
 pub mod opt;
 pub mod prefetcher;
+pub mod reference;
 
 pub use config::{ScoutConfig, ScoutOptConfig, Strategy};
 pub use graph::ResultGraph;

@@ -22,7 +22,9 @@ use crate::prefetcher::Scout;
 use scout_geometry::intersect::segment_aabb_distance;
 use scout_geometry::{ObjectId, QueryRegion, Segment, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, SimContext};
+use scout_sim::{
+    CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, QueryScratch, SimContext,
+};
 use scout_storage::PageId;
 use std::collections::{HashSet, VecDeque};
 
@@ -54,10 +56,11 @@ impl ScoutOpt {
     /// Returns `None` when no prior candidate information exists (first
     /// query of a sequence — SCOUT-OPT then equals SCOUT, §7.1 fn. 2).
     fn sparse_graph(
-        &self,
+        &mut self,
         ctx: &SimContext<'_>,
         region: &QueryRegion,
         result: &QueryResult,
+        scratch: &mut QueryScratch,
     ) -> Option<(ResultGraph, CpuUnits)> {
         let ordered = ctx.ordered?;
         if self.inner.tracker.is_empty() {
@@ -120,9 +123,13 @@ impl ScoutOpt {
             return None;
         }
 
-        let (graph, build_units) = match ctx.adjacency {
-            Some(adj) => ResultGraph::from_explicit(adj, &reached_objects),
-            None => ResultGraph::grid_hash(
+        // Rebuild in place over the inner prefetcher's recycled graph
+        // storage, exactly like the full-graph path.
+        let mut graph = std::mem::take(&mut self.inner.graph);
+        let build_units = match ctx.adjacency {
+            Some(adj) => graph.build_explicit(scratch, adj, &reached_objects),
+            None => graph.build_grid_hash(
+                scratch,
                 ctx.objects,
                 &reached_objects,
                 region,
@@ -230,27 +237,22 @@ impl ScoutOpt {
             (crawled, None)
         }
     }
-}
 
-impl Prefetcher for ScoutOpt {
-    fn name(&self) -> String {
-        "SCOUT-OPT".to_string()
-    }
-
-    fn overlaps_prediction(&self) -> bool {
-        true
-    }
-
-    fn observe(
+    /// The full SCOUT-OPT observe pipeline against a caller-provided
+    /// scratch arena.
+    fn observe_impl(
         &mut self,
         ctx: &SimContext<'_>,
         region: &QueryRegion,
         result: &QueryResult,
+        scratch: &mut QueryScratch,
     ) -> PredictionStats {
         // §6.2: sparse construction when possible; full graph otherwise.
-        let stats = match self.sparse_graph(ctx, region, result) {
-            Some((graph, units)) => self.inner.observe_with_graph(ctx, region, graph, units),
-            None => self.inner.observe(ctx, region, result),
+        let stats = match self.sparse_graph(ctx, region, result, scratch) {
+            Some((graph, units)) => {
+                self.inner.observe_with_graph(ctx, region, graph, units, scratch)
+            }
+            None => self.inner.observe_impl(ctx, region, result, scratch),
         };
 
         // §6.3: refine predictions through the gap.
@@ -305,6 +307,40 @@ impl Prefetcher for ScoutOpt {
             return out;
         }
         stats
+    }
+}
+
+impl Prefetcher for ScoutOpt {
+    fn name(&self) -> String {
+        "SCOUT-OPT".to_string()
+    }
+
+    fn overlaps_prediction(&self) -> bool {
+        true
+    }
+
+    fn observe(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+    ) -> PredictionStats {
+        // Direct calls borrow the inner prefetcher's own arena, like
+        // `Scout::observe` does.
+        let mut scratch = std::mem::take(&mut self.inner.scratch);
+        let stats = self.observe_impl(ctx, region, result, &mut scratch);
+        self.inner.scratch = scratch;
+        stats
+    }
+
+    fn observe_with_scratch(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+        scratch: &mut QueryScratch,
+    ) -> PredictionStats {
+        self.observe_impl(ctx, region, result, scratch)
     }
 
     fn plan(&mut self, ctx: &SimContext<'_>) -> PrefetchPlan {

@@ -10,14 +10,16 @@
 
 use crate::candidates::CandidateTracker;
 use crate::config::{ScoutConfig, Strategy};
-use crate::exits::{extrapolate, find_exits, Exit};
+use crate::exits::{extrapolate, find_exits_into, Exit};
 use crate::graph::ResultGraph;
 use crate::kmeans::kmeans;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scout_geometry::{QueryRegion, Vec3};
 use scout_index::QueryResult;
-use scout_sim::{CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, SimContext};
+use scout_sim::{
+    CpuUnits, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher, QueryScratch, SimContext,
+};
 use std::collections::HashSet;
 
 /// The structure-aware prefetcher.
@@ -35,6 +37,14 @@ pub struct Scout {
     /// The exit locations chosen by the strategy for the latest query
     /// (SCOUT-OPT refines these through the gap, §6.3).
     pub(crate) last_locations: Vec<Exit>,
+    /// The result graph's storage, recycled query to query — `observe`
+    /// rebuilds it in place, so a warmed session never reallocates it.
+    pub(crate) graph: ResultGraph,
+    /// Reusable exit list (filled by `find_exits_into`).
+    exits_buf: Vec<Exit>,
+    /// Fallback arena for direct `observe` calls; the executor path hands
+    /// in the session-owned arena via `observe_with_scratch` instead.
+    pub(crate) scratch: QueryScratch,
 }
 
 impl Scout {
@@ -49,6 +59,9 @@ impl Scout {
             gap_estimate: 0.0,
             pending: PrefetchPlan::empty(),
             last_locations: Vec::new(),
+            graph: ResultGraph::default(),
+            exits_buf: Vec::new(),
+            scratch: QueryScratch::new(),
         }
     }
 
@@ -101,16 +114,14 @@ impl Scout {
         }
     }
 
-    /// Drops exits pointing back toward where the user came from.
-    fn forward_filter(&self, exits: Vec<Exit>) -> Vec<Exit> {
+    /// Drops exits pointing back toward where the user came from, in
+    /// place (order preserved; never filters everything away).
+    fn forward_filter(&self, exits: &mut Vec<Exit>) {
         let Some(m) = self.movement() else {
-            return exits;
+            return;
         };
-        let forward: Vec<Exit> = exits.iter().copied().filter(|e| e.dir.dot(m) >= -0.25).collect();
-        if forward.is_empty() {
-            exits // never filter everything away
-        } else {
-            forward
+        if exits.iter().any(|e| e.dir.dot(m) >= -0.25) {
+            exits.retain(|e| e.dir.dot(m) >= -0.25);
         }
     }
 
@@ -290,55 +301,73 @@ impl Scout {
     }
 
     /// Shared observe logic, also used by SCOUT-OPT with a pre-built graph.
+    ///
+    /// Takes the graph by value and reclaims its storage into
+    /// `self.graph` before returning, so the next query's in-place rebuild
+    /// reuses the warmed buffers. Transient structures (component labels,
+    /// centroid accumulators, staged predictions) live in `scratch`.
     pub(crate) fn observe_with_graph(
         &mut self,
         ctx: &SimContext<'_>,
         region: &QueryRegion,
         graph: ResultGraph,
         mut units: CpuUnits,
+        scratch: &mut QueryScratch,
     ) -> PredictionStats {
         self.update_motion(region);
 
-        let (comp_of, comp_count) = graph.components();
+        let comp_count = graph.components_into(&mut scratch.components, &mut scratch.stack);
         units.traversal_steps += graph.vertex_count() as u64; // labeling pass
 
         // §4.3 iterative candidate pruning.
         let tolerance = self.config.continuity_tolerance_frac * region.side() + self.gap_estimate;
-        let cont = self.tracker.continuing_components(ctx.objects, &graph, &comp_of, tolerance);
+        let cont =
+            self.tracker.continuing_components(ctx.objects, &graph, &scratch.components, tolerance);
         units.traversal_steps += cont.steps;
 
         let mut was_reset = false;
         let mut candidate_set = cont.components;
-        let mut exits = if candidate_set.is_empty() {
+        let mut exits = std::mem::take(&mut self.exits_buf);
+        exits.clear();
+        if candidate_set.is_empty() {
             was_reset = true;
-            Vec::new()
         } else {
-            let (e, steps) = find_exits(
+            let steps = find_exits_into(
                 ctx.objects,
                 &graph,
-                &comp_of,
+                &scratch.components,
                 region,
                 Some(&candidate_set),
                 self.config.simplification,
+                &mut scratch.centroid_sums,
+                &mut scratch.centroid_counts,
+                &mut exits,
             );
             units.traversal_steps += steps;
-            if e.is_empty() {
+            if exits.is_empty() {
                 // The followed structure ended inside the query: reset.
                 was_reset = true;
             }
-            e
-        };
+        }
         if was_reset {
             // §4.3 reset: candidates = all structures of this result (those
             // that exit the query are the only ones that can be followed).
-            let (e, steps) =
-                find_exits(ctx.objects, &graph, &comp_of, region, None, self.config.simplification);
+            let steps = find_exits_into(
+                ctx.objects,
+                &graph,
+                &scratch.components,
+                region,
+                None,
+                self.config.simplification,
+                &mut scratch.centroid_sums,
+                &mut scratch.centroid_counts,
+                &mut exits,
+            );
             units.traversal_steps += steps;
-            exits = e;
             candidate_set = exits.iter().map(|e| e.component).collect::<HashSet<u32>>();
         }
 
-        let exits = self.forward_filter(exits);
+        self.forward_filter(&mut exits);
         let candidates = candidate_set.len();
         // §4.3 continuity anchor for the next query: the (forward) exit
         // objects of this query's candidate structures.
@@ -346,36 +375,67 @@ impl Scout {
             exits.iter().map(|e| graph.object_id(e.vertex)).collect();
 
         // Build the plan now (so its CPU is charged to this prediction).
-        let (plan, predictions, kmeans_us) = if exits.is_empty() {
-            self.last_locations = Vec::new();
-            (self.fallback_plan(), Vec::new(), 0.0)
+        scratch.predictions.clear();
+        let (plan, kmeans_us) = if exits.is_empty() {
+            self.last_locations.clear();
+            (self.fallback_plan(), 0.0)
         } else {
             let (locations, kmeans_us, score_steps) =
                 self.choose_locations(&graph, ctx.objects, &exits);
             units.traversal_steps += score_steps;
             let predict_dist = self.gap_estimate + region.side() / 2.0;
-            let predictions: Vec<Vec3> =
-                locations.iter().map(|e| extrapolate(e, predict_dist)).collect();
+            scratch.predictions.extend(locations.iter().map(|e| extrapolate(e, predict_dist)));
             let plan = self.incremental_plan(&locations, self.gap_estimate);
             self.last_locations = locations;
-            (plan, predictions, kmeans_us)
+            (plan, kmeans_us)
         };
         units.extra_us += kmeans_us;
         self.pending = plan;
 
-        self.tracker.commit(exit_objects, predictions, was_reset);
+        self.tracker.commit(exit_objects, &scratch.predictions, was_reset);
 
         let memory_bytes = graph.memory_bytes()
-            + comp_of.len() * std::mem::size_of::<u32>()
+            + scratch.components.len() * std::mem::size_of::<u32>()
             + exits.len() * std::mem::size_of::<Exit>();
-        PredictionStats {
+        let stats = PredictionStats {
             cpu: units,
             graph_vertices: graph.vertex_count(),
             graph_edges: graph.edge_count(),
             graph_components: comp_count,
             memory_bytes,
             candidates,
-        }
+        };
+        // Reclaim the buffers for the next query.
+        self.exits_buf = exits;
+        self.graph = graph;
+        stats
+    }
+
+    /// The full observe pipeline against a caller-provided scratch arena:
+    /// graph build (§4.1/§4.2) + prediction.
+    pub(crate) fn observe_impl(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+        scratch: &mut QueryScratch,
+    ) -> PredictionStats {
+        // §4.1/§4.2: use the explicit structure graph when the dataset has
+        // one, grid hashing otherwise. Rebuild in place over last query's
+        // storage — the graph-build phase allocates nothing once warmed.
+        let mut graph = std::mem::take(&mut self.graph);
+        let units = match ctx.adjacency {
+            Some(adj) => graph.build_explicit(scratch, adj, &result.objects),
+            None => graph.build_grid_hash(
+                scratch,
+                ctx.objects,
+                &result.objects,
+                region,
+                self.config.grid_resolution,
+                self.config.simplification,
+            ),
+        };
+        self.observe_with_graph(ctx, region, graph, units, scratch)
     }
 }
 
@@ -390,19 +450,23 @@ impl Prefetcher for Scout {
         region: &QueryRegion,
         result: &QueryResult,
     ) -> PredictionStats {
-        // §4.1/§4.2: use the explicit structure graph when the dataset has
-        // one, grid hashing otherwise.
-        let (graph, units) = match ctx.adjacency {
-            Some(adj) => ResultGraph::from_explicit(adj, &result.objects),
-            None => ResultGraph::grid_hash(
-                ctx.objects,
-                &result.objects,
-                region,
-                self.config.grid_resolution,
-                self.config.simplification,
-            ),
-        };
-        self.observe_with_graph(ctx, region, graph, units)
+        // Direct calls (tests, one-shot evaluations) fall back to the
+        // prefetcher-owned arena; the executor provides the session's via
+        // `observe_with_scratch`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let stats = self.observe_impl(ctx, region, result, &mut scratch);
+        self.scratch = scratch;
+        stats
+    }
+
+    fn observe_with_scratch(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+        scratch: &mut QueryScratch,
+    ) -> PredictionStats {
+        self.observe_impl(ctx, region, result, scratch)
     }
 
     fn plan(&mut self, _ctx: &SimContext<'_>) -> PrefetchPlan {
@@ -417,6 +481,8 @@ impl Prefetcher for Scout {
         self.pending = PrefetchPlan::empty();
         self.last_locations = Vec::new();
         self.rng = SmallRng::seed_from_u64(self.config.seed);
+        // The graph, exit and scratch buffers are transient per-query
+        // state; they keep their warmed capacity across sequences.
     }
 }
 

@@ -1,0 +1,164 @@
+//! The pre-CSR result-graph build, kept as an executable oracle.
+//!
+//! This is the seed implementation of [`crate::graph::ResultGraph`]
+//! verbatim: per-cell `HashMap` entries, per-vertex `Vec` adjacency lists
+//! with `contains()`-based edge dedup, and a `HashMap` reverse index. It
+//! exists for two jobs only:
+//!
+//! * **property-test oracle** — `tests/graph_properties.rs` asserts the
+//!   CSR build produces identical vertex numbering, edge sets and
+//!   component labels on random datasets;
+//! * **bench baseline** — the `hotpath` bench measures it against the CSR
+//!   build and records both numbers in `BENCH_hotpath.json`.
+//!
+//! Nothing on a simulation path may use it.
+
+use scout_geometry::{ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid};
+use scout_sim::CpuUnits;
+use std::collections::HashMap;
+
+use crate::graph::VertexId;
+
+/// The seed adjacency-list result graph (oracle; see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceGraph {
+    object_ids: Vec<ObjectId>,
+    adjacency: Vec<Vec<VertexId>>,
+    vertex_of: HashMap<ObjectId, VertexId>,
+}
+
+impl ReferenceGraph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.object_ids.len()
+    }
+
+    /// Number of undirected edges (the seed's O(V) fold, unchanged).
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The dataset object behind a vertex.
+    pub fn object_id(&self, v: VertexId) -> ObjectId {
+        self.object_ids[v as usize]
+    }
+
+    /// The vertex of a dataset object, if present in this result.
+    pub fn vertex_of(&self, o: ObjectId) -> Option<VertexId> {
+        self.vertex_of.get(&o).copied()
+    }
+
+    /// Neighbors of a vertex, in insertion order.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v as usize]
+    }
+
+    fn add_vertex(&mut self, o: ObjectId) -> VertexId {
+        let v = self.object_ids.len() as VertexId;
+        self.object_ids.push(o);
+        self.adjacency.push(Vec::new());
+        self.vertex_of.insert(o, v);
+        v
+    }
+
+    fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        if a == b || self.adjacency[a as usize].contains(&b) {
+            return false;
+        }
+        self.adjacency[a as usize].push(b);
+        self.adjacency[b as usize].push(a);
+        true
+    }
+
+    /// Connected components; returns (component id per vertex, count).
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let n = self.vertex_count();
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for v in 0..n as u32 {
+            if comp[v as usize] != u32::MAX {
+                continue;
+            }
+            comp[v as usize] = next;
+            stack.push(v);
+            while let Some(u) = stack.pop() {
+                for &w in self.neighbors(u) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// The seed grid-hashing build (§4.2): per-cell `HashMap` member
+    /// lists, `contains()` edge dedup.
+    pub fn grid_hash(
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        region: &QueryRegion,
+        resolution: u32,
+        simplification: scout_geometry::Simplification,
+    ) -> (ReferenceGraph, CpuUnits) {
+        let mut graph = ReferenceGraph::default();
+        let mut units = CpuUnits::default();
+        if result_ids.is_empty() {
+            return (graph, units);
+        }
+        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
+        // cell id -> vertices mapped to it
+        let mut cells: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for &oid in result_ids {
+            let v = graph.add_vertex(oid);
+            units.graph_object_inserts += 1;
+            let simplified = objects[oid.index()].shape.simplified(simplification);
+            scratch.clear();
+            grid.cells_for_simplified(&simplified, &mut scratch);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &c in &scratch {
+                cells.entry(c).or_default().push(v);
+            }
+        }
+        // Connect objects sharing a cell.
+        for members in cells.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if graph.add_edge(members[i], members[j]) {
+                        units.graph_edge_inserts += 1;
+                    }
+                }
+            }
+        }
+        (graph, units)
+    }
+
+    /// The seed explicit-adjacency build (§4.1).
+    pub fn from_explicit(
+        adjacency: &ObjectAdjacency,
+        result_ids: &[ObjectId],
+    ) -> (ReferenceGraph, CpuUnits) {
+        let mut graph = ReferenceGraph::default();
+        let mut units = CpuUnits::default();
+        for &oid in result_ids {
+            graph.add_vertex(oid);
+            units.graph_object_inserts += 1;
+        }
+        for &oid in result_ids {
+            let v = graph.vertex_of(oid).expect("vertex was just added");
+            for &nb in adjacency.neighbors(oid) {
+                if let Some(w) = graph.vertex_of(nb) {
+                    if graph.add_edge(v, w) {
+                        units.graph_edge_inserts += 1;
+                    }
+                }
+            }
+        }
+        (graph, units)
+    }
+}

@@ -1,10 +1,14 @@
-//! Property tests for SCOUT's approximate graph construction.
+//! Property tests for SCOUT's approximate graph construction, including
+//! the CSR-vs-reference equivalence suite: the flat build must produce
+//! identical vertex numbering, edge sets and component labels as the seed
+//! adjacency-list implementation it replaced.
 
 use proptest::prelude::*;
+use scout_core::reference::ReferenceGraph;
 use scout_core::ResultGraph;
 use scout_geometry::{
-    Aabb, Cylinder, ObjectId, QueryRegion, Shape, Simplification, SpatialObject, StructureId,
-    UniformGrid, Vec3,
+    Aabb, Cylinder, ObjectAdjacency, ObjectId, QueryRegion, Shape, Simplification, SpatialObject,
+    StructureId, UniformGrid, Vec3,
 };
 
 fn arb_objects() -> impl Strategy<Value = Vec<SpatialObject>> {
@@ -109,4 +113,81 @@ proptest! {
         prop_assert_eq!(a.edge_count(), b.edge_count());
         prop_assert_eq!(ua.graph_edge_inserts, ub.graph_edge_inserts);
     }
+
+    /// The CSR grid-hash build is equivalent to the seed adjacency-list
+    /// build: identical vertex numbering, reverse index, edge sets,
+    /// component labeling and charged work units.
+    #[test]
+    fn csr_grid_hash_matches_reference(objects in arb_objects(), res in 8u32..40_000) {
+        let ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+        let region = QueryRegion::from_aabb(Aabb::new(Vec3::ZERO, Vec3::splat(40.0)));
+        let (g, gu) =
+            ResultGraph::grid_hash(&objects, &ids, &region, res, Simplification::Segment);
+        let (r, ru) =
+            ReferenceGraph::grid_hash(&objects, &ids, &region, res, Simplification::Segment);
+        assert_graphs_equal(&g, &r)?;
+        prop_assert_eq!(gu.graph_object_inserts, ru.graph_object_inserts);
+        prop_assert_eq!(gu.graph_edge_inserts, ru.graph_edge_inserts);
+    }
+
+    /// The CSR explicit-adjacency build is equivalent to the seed build
+    /// on random adjacencies and random result subsets.
+    #[test]
+    fn csr_explicit_matches_reference(
+        objects in arb_objects(),
+        raw_edges in prop::collection::vec((0usize..80, 0usize..80), 0..160),
+        keep_mask in prop::collection::vec(0u8..2, 80),
+    ) {
+        let n = objects.len();
+        // Symmetric adjacency lists from random pairs.
+        let mut lists: Vec<Vec<ObjectId>> = vec![Vec::new(); n];
+        for &(a, b) in &raw_edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                lists[a].push(ObjectId(b as u32));
+                lists[b].push(ObjectId(a as u32));
+            }
+        }
+        let adj = ObjectAdjacency::from_lists(&lists);
+        // A random result subset (never empty: keep object 0).
+        let mut ids: Vec<ObjectId> = objects
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i == 0 || keep_mask[*i % keep_mask.len()] == 1)
+            .map(|(_, o)| o.id)
+            .collect();
+        ids.dedup();
+        let (g, gu) = ResultGraph::from_explicit(&adj, &ids);
+        let (r, ru) = ReferenceGraph::from_explicit(&adj, &ids);
+        assert_graphs_equal(&g, &r)?;
+        prop_assert_eq!(gu.graph_object_inserts, ru.graph_object_inserts);
+        prop_assert_eq!(gu.graph_edge_inserts, ru.graph_edge_inserts);
+    }
+}
+
+/// Asserts the CSR graph and the reference graph are the same graph:
+/// vertex numbering, reverse index, per-vertex edge sets, edge count and
+/// component labeling.
+fn assert_graphs_equal(g: &ResultGraph, r: &ReferenceGraph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(g.vertex_count(), r.vertex_count());
+    prop_assert_eq!(g.edge_count(), r.edge_count());
+    for v in 0..g.vertex_count() as u32 {
+        prop_assert_eq!(g.object_id(v), r.object_id(v), "vertex {} renumbered", v);
+        prop_assert_eq!(g.vertex_of(g.object_id(v)), Some(v));
+        prop_assert_eq!(r.vertex_of(r.object_id(v)), Some(v));
+        // Edge sets: the reference lists are in incidental insertion
+        // order; sorted they must equal the canonical CSR rows.
+        let mut expect = r.neighbors(v).to_vec();
+        expect.sort_unstable();
+        prop_assert_eq!(g.neighbors(v), &expect[..], "edge set of vertex {} differs", v);
+    }
+    // Absent objects resolve to no vertex in both.
+    prop_assert_eq!(g.vertex_of(ObjectId(u32::MAX)), None);
+    prop_assert_eq!(r.vertex_of(ObjectId(u32::MAX)), None);
+    // Component labeling (ids assigned in first-encounter order) matches.
+    let (gc, gn) = g.components();
+    let (rc, rn) = r.components();
+    prop_assert_eq!(gn, rn);
+    prop_assert_eq!(gc, rc);
+    Ok(())
 }

@@ -69,11 +69,21 @@ impl FlatIndex {
         let eps = config.epsilon_factor * mean_diag;
 
         let mut neighbors: Vec<Vec<PageId>> = vec![Vec::new(); n];
+        // One k-NN scratch + output buffer for the whole build: the probe
+        // loop is the hottest part of FLAT construction.
+        let mut knn_scratch = crate::rtree::KnnScratch::new();
+        let mut knn_out: Vec<PageId> = Vec::new();
         for page in pages {
             let probe = page.mbr.expanded(eps.max(1e-12));
             let mut near = rtree.pages_in_region(&probe);
             // k-NN union for connectivity across sparse areas.
-            for knn_page in rtree.k_nearest_pages(page.mbr.center(), config.knn + 1) {
+            rtree.k_nearest_pages_into(
+                page.mbr.center(),
+                config.knn + 1,
+                &mut knn_scratch,
+                &mut knn_out,
+            );
+            for &knn_page in &knn_out {
                 if !near.contains(&knn_page) {
                     near.push(knn_page);
                 }

@@ -5,11 +5,12 @@
 //! the ordered page retrieval SCOUT-OPT requires (§6).
 
 pub mod flat;
+pub mod reference;
 pub mod rtree;
 pub mod str_pack;
 pub mod traits;
 
 pub use flat::{FlatConfig, FlatIndex};
-pub use rtree::RTree;
+pub use rtree::{KnnScratch, RTree};
 pub use str_pack::{str_pack, DEFAULT_PAGE_BYTES, DEFAULT_PAGE_CAPACITY};
 pub use traits::{OrderedSpatialIndex, QueryResult, SpatialIndex};

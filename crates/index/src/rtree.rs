@@ -5,6 +5,18 @@
 //! [`crate::str_pack::str_pack`]; internal levels are built by packing
 //! consecutive (already STR-ordered) entries, the standard construction for
 //! bulk-loaded R-trees.
+//!
+//! ## Memory layout
+//!
+//! The directory is stored as an **implicit flat layout**: one contiguous
+//! array of fixed-size node records `{mbr, child_start, child_len,
+//! is_leaf}` plus one contiguous child-id array every record slices into —
+//! no per-node heap allocations, no `enum` children vectors to chase.
+//! Traversals walk two flat arrays, and [`RTree::k_nearest_pages_into`]
+//! reuses a caller-owned [`KnnScratch`] so repeated nearest-page probes
+//! (FLAT neighborhood construction, SCOUT-OPT seed pages) never touch the
+//! allocator once warm. The seed pointer-style directory survives as
+//! [`crate::reference::ReferenceRTree`], the property-test oracle.
 
 use crate::str_pack::{str_pack, DEFAULT_PAGE_CAPACITY};
 use crate::traits::SpatialIndex;
@@ -16,27 +28,96 @@ use std::collections::BinaryHeap;
 /// Internal-node fanout (how many children each directory node packs).
 pub const INTERNAL_FANOUT: usize = 64;
 
-#[derive(Debug, Clone)]
-enum Children {
-    /// Leaf-level directory node: children are disk pages.
-    Leaves(Vec<PageId>),
-    /// Inner directory node: children are other nodes.
-    Nodes(Vec<u32>),
-}
-
-#[derive(Debug, Clone)]
-struct Node {
+/// One directory node record in the flat layout.
+///
+/// `child_start .. child_start + child_len` indexes [`RTree::children`]:
+/// node indices for inner nodes, raw [`PageId`] values for leaf-level
+/// nodes (`is_leaf`).
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
     mbr: Aabb,
-    children: Children,
+    child_start: u32,
+    child_len: u32,
+    is_leaf: bool,
 }
 
 /// An immutable, bulk-loaded R-tree.
 #[derive(Debug, Clone)]
 pub struct RTree {
     layout: PageLayout,
-    nodes: Vec<Node>,
+    /// Directory records, leaf level first (construction order).
+    nodes: Vec<NodeRec>,
+    /// Concatenated child arrays of every node.
+    children: Vec<u32>,
     root: u32,
     height: usize,
+}
+
+/// Best-first search entry: a directory node or a page, keyed by MBR
+/// distance. The ordering is total — distance, then kind, then id — so
+/// heap pop order depends only on the live entry *set*, which keeps
+/// pruned and unpruned searches identical (see
+/// [`RTree::k_nearest_pages_into`]).
+#[derive(Debug, Clone, Copy)]
+struct KnnEntry {
+    dist: f64,
+    /// Directory node (`true`) or page (`false`).
+    is_node: bool,
+    id: u32,
+}
+
+impl PartialEq for KnnEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for KnnEntry {}
+impl PartialOrd for KnnEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KnnEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.is_node.cmp(&other.is_node))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// A max-heap key over page distances (tracks the k-th best candidate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Reusable state for [`RTree::k_nearest_pages_into`]: the best-first
+/// frontier and the k-best candidate distances. Owning one per session /
+/// build loop keeps repeated k-NN probes allocation-free once warm.
+#[derive(Debug, Clone, Default)]
+pub struct KnnScratch {
+    /// Min-heap frontier of nodes and pages by MBR distance.
+    frontier: BinaryHeap<Reverse<KnnEntry>>,
+    /// Max-heap of the k smallest page distances seen so far; its top is
+    /// the pruning bound once k candidates exist.
+    best: BinaryHeap<TotalF64>,
+}
+
+impl KnnScratch {
+    /// A fresh scratch with no reserved capacity.
+    pub fn new() -> KnnScratch {
+        KnnScratch::default()
+    }
 }
 
 impl RTree {
@@ -54,15 +135,22 @@ impl RTree {
 
     /// Builds the directory over an existing page layout.
     pub fn from_layout(layout: PageLayout) -> RTree {
-        let mut nodes: Vec<Node> = Vec::new();
+        let mut nodes: Vec<NodeRec> = Vec::new();
+        let mut children: Vec<u32> = Vec::new();
         // Level 0: directory nodes over consecutive pages.
         let mut level: Vec<u32> = layout
             .pages()
             .chunks(INTERNAL_FANOUT)
             .map(|chunk| {
                 let mbr = chunk.iter().fold(Aabb::EMPTY, |acc, p| acc.union(&p.mbr));
-                let ids = chunk.iter().map(|p| p.id).collect();
-                nodes.push(Node { mbr, children: Children::Leaves(ids) });
+                let child_start = children.len() as u32;
+                children.extend(chunk.iter().map(|p| p.id.0));
+                nodes.push(NodeRec {
+                    mbr,
+                    child_start,
+                    child_len: chunk.len() as u32,
+                    is_leaf: true,
+                });
                 (nodes.len() - 1) as u32
             })
             .collect();
@@ -73,14 +161,21 @@ impl RTree {
                 .map(|chunk| {
                     let mbr =
                         chunk.iter().fold(Aabb::EMPTY, |acc, &n| acc.union(&nodes[n as usize].mbr));
-                    nodes.push(Node { mbr, children: Children::Nodes(chunk.to_vec()) });
+                    let child_start = children.len() as u32;
+                    children.extend_from_slice(chunk);
+                    nodes.push(NodeRec {
+                        mbr,
+                        child_start,
+                        child_len: chunk.len() as u32,
+                        is_leaf: false,
+                    });
                     (nodes.len() - 1) as u32
                 })
                 .collect();
             height += 1;
         }
         let root = level[0];
-        RTree { layout, nodes, root, height }
+        RTree { layout, nodes, children, root, height }
     }
 
     /// Tree height in directory levels (excludes the page level).
@@ -93,6 +188,21 @@ impl RTree {
         self.nodes[self.root as usize].mbr
     }
 
+    /// Resident size of the directory (node records + child array), for
+    /// index-memory diagnostics. Excludes the page layout itself.
+    pub fn directory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<NodeRec>()
+            + self.children.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The child slice of a node.
+    #[inline]
+    fn children_of(&self, n: u32) -> &[u32] {
+        let rec = &self.nodes[n as usize];
+        let start = rec.child_start as usize;
+        &self.children[start..start + rec.child_len as usize]
+    }
+
     /// The page whose MBR is nearest to `p` (contains it when possible).
     ///
     /// Exact best-first search over MBR distances.
@@ -101,47 +211,66 @@ impl RTree {
     }
 
     /// The `k` pages with smallest MBR distance to `p`, nearest first.
+    ///
+    /// Allocating wrapper around [`RTree::k_nearest_pages_into`].
     pub fn k_nearest_pages(&self, p: Vec3, k: usize) -> Vec<PageId> {
-        #[derive(PartialEq)]
-        struct Entry {
-            dist: f64,
-            /// Directory node (`true`) or page (`false`).
-            is_node: bool,
-            id: u32,
-        }
-        impl Eq for Entry {}
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.dist.total_cmp(&other.dist)
-            }
-        }
-
+        let mut scratch = KnnScratch::new();
         let mut out = Vec::with_capacity(k);
-        if k == 0 {
-            return out;
+        self.k_nearest_pages_into(p, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`RTree::k_nearest_pages`] into a caller-provided output buffer,
+    /// reusing `scratch` across calls.
+    ///
+    /// Best-first search with k-th-best pruning: once `k` page candidates
+    /// have been seen, children whose MBR distance exceeds the current
+    /// k-th best distance are skipped — they can never displace a
+    /// candidate. The frontier pops in ascending `(dist, kind, id)` order,
+    /// so the result is identical to the unpruned search.
+    pub fn k_nearest_pages_into(
+        &self,
+        p: Vec3,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<PageId>,
+    ) {
+        out.clear();
+        scratch.frontier.clear();
+        scratch.best.clear();
+        if k == 0 || self.layout.page_count() == 0 {
+            return;
         }
-        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
-        heap.push(Reverse(Entry { dist: 0.0, is_node: true, id: self.root }));
-        while let Some(Reverse(e)) = heap.pop() {
+        let bound = |best: &BinaryHeap<TotalF64>| {
+            if best.len() == k {
+                best.peek().expect("non-empty at len == k").0
+            } else {
+                f64::INFINITY
+            }
+        };
+        scratch.frontier.push(Reverse(KnnEntry { dist: 0.0, is_node: true, id: self.root }));
+        while let Some(Reverse(e)) = scratch.frontier.pop() {
             if e.is_node {
-                match &self.nodes[e.id as usize].children {
-                    Children::Nodes(children) => {
-                        for &c in children {
-                            let d = self.nodes[c as usize].mbr.distance_sq_to_point(p);
-                            heap.push(Reverse(Entry { dist: d, is_node: true, id: c }));
+                if e.dist > bound(&scratch.best) {
+                    continue; // no page below this node can make the k best
+                }
+                let leaf = self.nodes[e.id as usize].is_leaf;
+                for &c in self.children_of(e.id) {
+                    let (d, is_node) = if leaf {
+                        (self.layout.page(PageId(c)).mbr.distance_sq_to_point(p), false)
+                    } else {
+                        (self.nodes[c as usize].mbr.distance_sq_to_point(p), true)
+                    };
+                    if d > bound(&scratch.best) {
+                        continue;
+                    }
+                    if !is_node {
+                        scratch.best.push(TotalF64(d));
+                        if scratch.best.len() > k {
+                            scratch.best.pop();
                         }
                     }
-                    Children::Leaves(pages) => {
-                        for &pid in pages {
-                            let d = self.layout.page(pid).mbr.distance_sq_to_point(p);
-                            heap.push(Reverse(Entry { dist: d, is_node: false, id: pid.0 }));
-                        }
-                    }
+                    scratch.frontier.push(Reverse(KnnEntry { dist: d, is_node, id: c }));
                 }
             } else {
                 out.push(PageId(e.id));
@@ -150,7 +279,6 @@ impl RTree {
                 }
             }
         }
-        out
     }
 }
 
@@ -167,20 +295,18 @@ impl SpatialIndex for RTree {
             if !node.mbr.intersects(region) {
                 continue;
             }
-            match &node.children {
-                Children::Nodes(children) => {
-                    // Push in reverse so traversal visits children in
-                    // packed (spatial) order.
-                    for &c in children.iter().rev() {
-                        stack.push(c);
+            if node.is_leaf {
+                for &raw in self.children_of(n) {
+                    let pid = PageId(raw);
+                    if self.layout.page(pid).mbr.intersects(region) {
+                        out.push(pid);
                     }
                 }
-                Children::Leaves(pages) => {
-                    for &pid in pages {
-                        if self.layout.page(pid).mbr.intersects(region) {
-                            out.push(pid);
-                        }
-                    }
+            } else {
+                // Push in reverse so traversal visits children in
+                // packed (spatial) order.
+                for &c in self.children_of(n).iter().rev() {
+                    stack.push(c);
                 }
             }
         }
@@ -250,6 +376,7 @@ mod tests {
         let tree = RTree::bulk_load_with_capacity(&objs, 4); // 2000 pages
         assert!(tree.height() >= 2, "height {}", tree.height());
         assert!(tree.bounds().contains_point(Vec3::splat(19.0)));
+        assert!(tree.directory_bytes() > 0);
     }
 
     #[test]
@@ -290,6 +417,32 @@ mod tests {
             .collect();
         all.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert!((dists[0] - all[0].0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_nearest_reused_scratch_matches_fresh() {
+        let objs = grid_objects(8, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        for (i, p) in
+            [Vec3::new(1.0, 2.0, 3.0), Vec3::new(7.5, 0.1, 4.4), Vec3::new(-3.0, 9.0, 2.2)]
+                .into_iter()
+                .enumerate()
+        {
+            let k = 1 + 2 * i;
+            tree.k_nearest_pages_into(p, k, &mut scratch, &mut out);
+            assert_eq!(out, tree.k_nearest_pages(p, k), "probe {i} diverged");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_page_count_returns_all_pages() {
+        let objs = grid_objects(3, 1.0);
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let n = tree.layout().page_count();
+        let near = tree.k_nearest_pages(Vec3::splat(1.0), n + 10);
+        assert_eq!(near.len(), n);
     }
 
     #[test]

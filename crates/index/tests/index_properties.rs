@@ -88,3 +88,71 @@ proptest! {
         prop_assert_eq!(dedup.len(), pages.len());
     }
 }
+
+/// Flat-vs-seed R-tree equivalence: the SoA directory must return the
+/// same results as the pointer-style seed directory it replaced.
+mod flat_layout_equivalence {
+    use super::*;
+    use scout_index::reference::ReferenceRTree;
+    use scout_index::KnnScratch;
+
+    fn arb_point() -> impl Strategy<Value = Vec3> {
+        (-70.0..70.0, -70.0..70.0, -70.0..70.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `pages_in_region` returns the identical page sequence
+        /// (traversal order included).
+        #[test]
+        fn pages_in_region_matches_seed_directory(
+            objects in arb_objects(),
+            region in arb_region(),
+        ) {
+            let tree = RTree::bulk_load_with_capacity(&objects, 8);
+            let seed = ReferenceRTree::bulk_load_with_capacity(&objects, 8);
+            prop_assert_eq!(
+                tree.pages_in_region(region.aabb()),
+                seed.pages_in_region(region.aabb())
+            );
+        }
+
+        /// `k_nearest_pages` (pruned, scratch-reusing) returns pages at
+        /// the identical distances as the seed's unpruned search, which
+        /// are exactly the k smallest distances overall. Page identities
+        /// may differ only inside exact-tie groups (both searches break
+        /// distance ties arbitrarily), so the comparison is on distances.
+        #[test]
+        fn k_nearest_pages_matches_seed_directory(
+            objects in arb_objects(),
+            p in arb_point(),
+            k in 1usize..24,
+        ) {
+            let tree = RTree::bulk_load_with_capacity(&objects, 8);
+            let seed = ReferenceRTree::bulk_load_with_capacity(&objects, 8);
+            let mut scratch = KnnScratch::new();
+            let mut got = Vec::new();
+            tree.k_nearest_pages_into(p, k, &mut scratch, &mut got);
+            let expect = seed.k_nearest_pages(p, k);
+            prop_assert_eq!(got.len(), expect.len());
+            let dist = |pid: &scout_storage::PageId| {
+                tree.layout().page(*pid).mbr.distance_sq_to_point(p)
+            };
+            let got_d: Vec<f64> = got.iter().map(dist).collect();
+            let expect_d: Vec<f64> = expect.iter().map(dist).collect();
+            prop_assert_eq!(&got_d, &expect_d);
+            // Both must equal the k smallest brute-force distances.
+            let mut all: Vec<f64> =
+                tree.layout().pages().iter().map(|pg| pg.mbr.distance_sq_to_point(p)).collect();
+            all.sort_by(f64::total_cmp);
+            all.truncate(k);
+            prop_assert_eq!(&got_d, &all);
+            // No page repeats.
+            let mut ids = got.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), got.len());
+        }
+    }
+}

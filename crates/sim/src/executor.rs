@@ -13,6 +13,7 @@
 use crate::context::SimContext;
 use crate::costs::CpuCostModel;
 use crate::prefetcher::{PredictionStats, PrefetchRequest, Prefetcher};
+use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
 use scout_storage::{DiskModel, DiskProfile, IoStats, PageCache, PrefetchCache};
 
@@ -163,6 +164,9 @@ pub(crate) struct OpenWindow {
 /// Phases (1) and (2) of the Figure-2 timeline for one query: serve the
 /// result from cache/disk, let the prefetcher digest it, and compute the
 /// prefetch-window budget.
+// Internal timeline phase; the parameters are the session's execution
+// state (cache, disk, trace, scratch), not a bundleable config.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn serve_and_observe<C: PageCache>(
     ctx: &SimContext<'_>,
     prefetcher: &mut dyn Prefetcher,
@@ -171,6 +175,7 @@ pub(crate) fn serve_and_observe<C: PageCache>(
     disk: &mut DiskModel,
     config: &ExecutorConfig,
     io: &mut IoStats,
+    scratch: &mut QueryScratch,
 ) -> OpenWindow {
     let mut q = QueryTrace::default();
     let result = ctx.index.range_query(ctx.objects, region);
@@ -204,8 +209,9 @@ pub(crate) fn serve_and_observe<C: PageCache>(
     // CPU cost of processing the result pages (charged to response).
     q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
 
-    // (2) Prediction.
-    q.prediction = prefetcher.observe(ctx, region, &result);
+    // (2) Prediction. The session's scratch arena rides along so
+    // allocation-free prefetchers reuse warmed buffers (DESIGN.md §6).
+    q.prediction = prefetcher.observe_with_scratch(ctx, region, &result, scratch);
     q.graph_build_us = config.costs.graph_build_us(&q.prediction.cpu);
     q.prediction_us = config.costs.prediction_us(&q.prediction.cpu);
 
@@ -283,6 +289,8 @@ pub fn run_sequence(
     let mut cache = PrefetchCache::new(config.cache_pages);
     let mut disk = DiskModel::new(config.disk);
     let mut trace = SequenceTrace::default();
+    // One scratch arena for the whole sequence, like one Session owns one.
+    let mut scratch = QueryScratch::new();
     prefetcher.reset();
 
     for region in regions {
@@ -294,6 +302,7 @@ pub fn run_sequence(
             &mut disk,
             config,
             &mut trace.io,
+            &mut scratch,
         );
         let q = run_prefetch_window(ctx, prefetcher, window, &mut cache, &mut disk, &mut trace.io);
         trace.queries.push(q);

@@ -14,6 +14,7 @@ pub mod experiment;
 pub mod multi;
 pub mod prefetcher;
 pub mod report;
+pub mod scratch;
 pub mod session;
 pub mod workloads;
 
@@ -26,5 +27,6 @@ pub use multi::{
 };
 pub use prefetcher::{NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher};
 pub use report::{percentiles, LatencyPercentiles};
+pub use scratch::QueryScratch;
 pub use session::Session;
 pub use workloads::Microbenchmark;

@@ -3,6 +3,7 @@
 
 use crate::context::SimContext;
 use crate::costs::CpuUnits;
+use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
 use scout_index::QueryResult;
 use scout_storage::PageId;
@@ -71,6 +72,24 @@ pub trait Prefetcher: Send {
         region: &QueryRegion,
         result: &QueryResult,
     ) -> PredictionStats;
+
+    /// [`Prefetcher::observe`] with a caller-provided [`QueryScratch`].
+    ///
+    /// The executor always calls this entry point, handing each session's
+    /// long-lived arena down so allocation-free prefetchers (SCOUT's CSR
+    /// graph build) reuse warmed buffers across queries. The default
+    /// implementation ignores the scratch and delegates to `observe`, so
+    /// baselines that allocate nothing on this path need no change.
+    fn observe_with_scratch(
+        &mut self,
+        ctx: &SimContext<'_>,
+        region: &QueryRegion,
+        result: &QueryResult,
+        scratch: &mut QueryScratch,
+    ) -> PredictionStats {
+        let _ = scratch;
+        self.observe(ctx, region, result)
+    }
 
     /// Produces the prioritized prefetch plan for the coming window.
     fn plan(&mut self, ctx: &SimContext<'_>) -> PrefetchPlan;

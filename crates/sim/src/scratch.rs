@@ -1,0 +1,109 @@
+//! The per-session query scratch arena.
+//!
+//! Every query in a guided sequence rebuilds the same transient
+//! structures: the (cell, vertex) pair list grid hashing sorts into a CSR
+//! adjacency, the edge list, the component labeling, the per-component
+//! centroid accumulators of exit detection, and the staged prediction
+//! points. Allocating them afresh per query puts the allocator on the hot
+//! path the paper measures (Figures 15/16); instead each
+//! [`Session`](crate::session::Session) owns one [`QueryScratch`] for its
+//! whole lifetime and threads it through
+//! [`Prefetcher::observe_with_scratch`](crate::prefetcher::Prefetcher::observe_with_scratch),
+//! so steady-state queries reuse warmed capacity and perform no heap
+//! allocation in the graph-build phase (see DESIGN.md §6).
+//!
+//! The buffers are plain flat vectors of primitive data — the arena is
+//! `Send`, migrates onto worker threads with its session, and its `clear`
+//! never releases capacity.
+
+use scout_geometry::Vec3;
+
+/// Reusable flat buffers for one session's query hot path.
+///
+/// Fields are public: the consumers (the CSR graph build in `scout-core`,
+/// exit detection, prediction staging) borrow individual buffers mutably
+/// and disjointly. Every consumer clears the buffers it uses on entry;
+/// contents never carry meaning across calls, only capacity does.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// `(cell, vertex)` pairs grid hashing sorts to find co-located
+    /// objects (CSR build pass 1).
+    pub cell_pairs: Vec<(u32, u32)>,
+    /// Directed edge list `(source, target)`; sorted + deduped into the
+    /// CSR adjacency (CSR build pass 2).
+    pub edges: Vec<(u32, u32)>,
+    /// Cell ids covered by one object's simplified geometry.
+    pub cells: Vec<u32>,
+    /// Connected-component label per vertex.
+    pub components: Vec<u32>,
+    /// Per-vertex counters (degree histogram / scatter cursors of the CSR
+    /// build).
+    pub counts: Vec<u32>,
+    /// DFS stack for component labeling.
+    pub stack: Vec<u32>,
+    /// Per-component centroid sums (exit-direction smoothing).
+    pub centroid_sums: Vec<Vec3>,
+    /// Per-component centroid sample counts.
+    pub centroid_counts: Vec<u32>,
+    /// Predicted next-query locations staged before they are committed to
+    /// the candidate tracker.
+    pub predictions: Vec<Vec3>,
+}
+
+impl QueryScratch {
+    /// A fresh arena with no reserved capacity (buffers warm up over the
+    /// first queries of a session).
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Clears every buffer, retaining capacity.
+    pub fn clear(&mut self) {
+        self.cell_pairs.clear();
+        self.edges.clear();
+        self.cells.clear();
+        self.components.clear();
+        self.counts.clear();
+        self.stack.clear();
+        self.centroid_sums.clear();
+        self.centroid_counts.clear();
+        self.predictions.clear();
+    }
+
+    /// Total bytes of reserved capacity across all buffers (diagnostics;
+    /// the §8.2 memory measurements count the graph itself separately).
+    pub fn capacity_bytes(&self) -> usize {
+        self.cell_pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.edges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.cells.capacity() * std::mem::size_of::<u32>()
+            + self.components.capacity() * std::mem::size_of::<u32>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
+            + self.stack.capacity() * std::mem::size_of::<u32>()
+            + self.centroid_sums.capacity() * std::mem::size_of::<Vec3>()
+            + self.centroid_counts.capacity() * std::mem::size_of::<u32>()
+            + self.predictions.capacity() * std::mem::size_of::<Vec3>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut s = QueryScratch::new();
+        s.cell_pairs.extend((0..100).map(|i| (i, i)));
+        s.edges.extend((0..50).map(|i| (i, i + 1)));
+        s.predictions.push(Vec3::ZERO);
+        let cap = s.capacity_bytes();
+        s.clear();
+        assert!(s.cell_pairs.is_empty() && s.edges.is_empty() && s.predictions.is_empty());
+        assert_eq!(s.capacity_bytes(), cap);
+    }
+
+    #[test]
+    fn scratch_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryScratch>();
+    }
+}

@@ -21,6 +21,7 @@ use crate::executor::{
     run_prefetch_window, serve_and_observe, ExecutorConfig, OpenWindow, SequenceTrace,
 };
 use crate::prefetcher::Prefetcher;
+use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
 use scout_storage::{DiskModel, PageCache, SharedClock};
 
@@ -33,6 +34,9 @@ pub struct Session {
     disk: DiskModel,
     trace: SequenceTrace,
     open: Option<OpenWindow>,
+    /// Reusable query-hot-path buffers; lives as long as the session so
+    /// steady-state queries allocate nothing in the graph-build phase.
+    scratch: QueryScratch,
 }
 
 impl Session {
@@ -50,6 +54,7 @@ impl Session {
             disk: DiskModel::default(),
             trace: SequenceTrace::default(),
             open: None,
+            scratch: QueryScratch::new(),
         }
     }
 
@@ -106,6 +111,7 @@ impl Session {
             &mut self.disk,
             config,
             &mut self.trace.io,
+            &mut self.scratch,
         );
         self.open = Some(window);
         true

@@ -1,0 +1,123 @@
+//! Steady-state allocation accounting for the query hot path (ISSUE 3).
+//!
+//! The graph-build phase of `Session::step` — `ResultGraph::build_grid_hash`
+//! / `build_explicit` plus `components_into` against the session's
+//! [`QueryScratch`] arena — must perform **zero** heap allocations once the
+//! buffers have warmed to the workload. A counting global allocator wraps
+//! the system allocator; after a warmup tour over every query of the
+//! sequence, re-running the builds must leave the counter untouched.
+//!
+//! This binary holds exactly one `#[test]` on purpose: the counter is
+//! process-global, so a concurrently running sibling test would pollute
+//! the measured window.
+
+use scout::core::ResultGraph;
+use scout::geometry::{Aspect, ObjectAdjacency, QueryRegion};
+use scout::index::{RTree, SpatialIndex};
+use scout::sim::QueryScratch;
+use scout_synth::{generate_neurons, NeuronParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc acquires memory too: growing a Vec in the measured
+        // window must count.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_graph_build_allocates_nothing() {
+    // A small tissue block and a guided sweep of queries along it.
+    let dataset = generate_neurons(
+        &NeuronParams { neuron_count: 6, fiber_steps: 150, ..Default::default() },
+        17,
+    );
+    let objects = &dataset.objects;
+    let tree = RTree::bulk_load_with_capacity(objects, 16);
+    let side = dataset.bounds.extent().x * 0.2;
+    let regions: Vec<QueryRegion> = (0..6)
+        .map(|i| {
+            let t = (i as f64 + 0.5) / 6.0;
+            let c = dataset.bounds.min + (dataset.bounds.max - dataset.bounds.min) * t;
+            QueryRegion::new(c, side * side * side, Aspect::Cube)
+        })
+        .collect();
+    let results: Vec<Vec<scout::geometry::ObjectId>> =
+        regions.iter().map(|r| tree.range_query(objects, r).objects).collect();
+    assert!(
+        results.iter().any(|r| r.len() > 50),
+        "fixture too sparse: results {:?}",
+        results.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    // A synthetic explicit adjacency (chain within each fiber's id range).
+    let lists: Vec<Vec<scout::geometry::ObjectId>> = (0..objects.len())
+        .map(|i| {
+            let mut l = Vec::new();
+            if i > 0 {
+                l.push(scout::geometry::ObjectId(i as u32 - 1));
+            }
+            if i + 1 < objects.len() {
+                l.push(scout::geometry::ObjectId(i as u32 + 1));
+            }
+            l
+        })
+        .collect();
+    let adjacency = ObjectAdjacency::from_lists(&lists);
+
+    let mut scratch = QueryScratch::new();
+    let mut graph = ResultGraph::default();
+
+    // Warmup tour: every query once, both build paths, so every buffer
+    // reaches the workload's high-water capacity.
+    let resolution = 32_768;
+    let simplification = scout::geometry::Simplification::Segment;
+    for (region, ids) in regions.iter().zip(&results) {
+        graph.build_grid_hash(&mut scratch, objects, ids, region, resolution, simplification);
+        graph.components_into(&mut scratch.components, &mut scratch.stack);
+        graph.build_explicit(&mut scratch, &adjacency, ids);
+        graph.components_into(&mut scratch.components, &mut scratch.stack);
+    }
+
+    // Steady state: the same tour must not allocate at all.
+    let before = allocations();
+    for _ in 0..3 {
+        for (region, ids) in regions.iter().zip(&results) {
+            graph.build_grid_hash(&mut scratch, objects, ids, region, resolution, simplification);
+            let n = graph.components_into(&mut scratch.components, &mut scratch.stack);
+            std::hint::black_box(n);
+            graph.build_explicit(&mut scratch, &adjacency, ids);
+            let n = graph.components_into(&mut scratch.components, &mut scratch.stack);
+            std::hint::black_box(n);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "graph-build phase allocated {} times in steady state",
+        after - before
+    );
+}
