@@ -1,9 +1,11 @@
 //! Emits the hot-path perf-trajectory artifact.
 //!
-//! Runs the seed-vs-flat kernel microbenchmarks
-//! ([`scout_bench::hotpath`]) and writes `BENCH_hotpath.json` into the
+//! Runs the seed-vs-flat kernel microbenchmarks and the
+//! incremental-vs-full overlap sweeps ([`scout_bench::hotpath`]) on all
+//! three synthetic datasets and writes `BENCH_hotpath.json` into the
 //! current directory (run from the repo root; CI uploads the file as an
-//! artifact).
+//! artifact and fails the job when the `guard` block reports fallbacks on
+//! the 0.9-overlap sweep).
 //!
 //! Run with: `cargo run -p scout-bench --bin hotpath --release`
 
@@ -17,14 +19,31 @@ fn main() {
     let json = report.to_json();
     eprintln!("{json}");
     eprintln!("hotpath run in {:.1?}", t0.elapsed());
-    for k in &report.kernels {
-        eprintln!(
-            "  {:>16}: seed {:>10.1} µs  flat {:>10.1} µs  ({:.2}x)",
-            k.name,
-            k.seed_us,
-            k.flat_us,
-            k.speedup()
-        );
+    for d in &report.datasets {
+        eprintln!("[{}] {} objects, {} pages", d.name, d.objects, d.pages);
+        for k in &d.kernels {
+            eprintln!(
+                "  {:>16}: seed {:>10.1} µs  flat {:>10.1} µs  ({:.2}x)",
+                k.name,
+                k.seed_us,
+                k.flat_us,
+                k.speedup()
+            );
+        }
+    }
+    for d in &report.incremental {
+        eprintln!("[{}] incremental sweep, {} objects per window", d.name, d.window_objects);
+        for s in &d.sweeps {
+            eprintln!(
+                "  overlap {:>3.1}: full {:>9.1} µs  incremental {:>9.1} µs  ({:.2}x, {} inc / {} fb)",
+                s.overlap,
+                s.full_us,
+                s.incremental_us,
+                s.speedup(),
+                s.incremental_builds,
+                s.fallback_builds
+            );
+        }
     }
     std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
     eprintln!("wrote BENCH_hotpath.json");

@@ -1,25 +1,44 @@
-//! Hot-path kernel microbenchmarks: seed vs flat implementations.
+//! Hot-path kernel microbenchmarks: seed vs flat vs incremental.
 //!
-//! Times the four per-query kernels the zero-allocation refactor targets —
-//! `grid_hash`, `components`, `pages_in_region`, `k_nearest_pages` — on a
-//! synthetic 100k-object neuron dataset, against the checked-in seed
-//! implementations ([`scout_core::reference::ReferenceGraph`],
-//! [`scout_index::reference::ReferenceRTree`]). Both sides run in the same
-//! process on the same inputs, so the recorded ratio is robust to host
-//! speed; the absolute µs are machine-dependent.
+//! Two measurement families, both written to `BENCH_hotpath.json` (the
+//! perf-trajectory artifact CI uploads):
+//!
+//! * **Kernels** — the four per-query kernels of the zero-allocation
+//!   refactor (`grid_hash`, `components`, `pages_in_region`,
+//!   `k_nearest_pages`) against the checked-in seed implementations
+//!   ([`scout_core::reference::ReferenceGraph`],
+//!   [`scout_index::reference::ReferenceRTree`]), on all three synthetic
+//!   datasets (neuron tissue, lung airway mesh, road network).
+//! * **Incremental** — amortized cost of
+//!   [`ResultGraph::build_grid_hash_incremental`] vs the full
+//!   [`ResultGraph::build_grid_hash`] over sliding result windows at
+//!   controlled inter-query overlap (0.9 / 0.7 / 0.3 / 0.0). Windows
+//!   slide along a Hilbert tour of the dataset (a structure-following
+//!   result stream) under a fixed viewport lattice; the 0.0 sweep
+//!   measures the fallback path (full rebuild + cache capture), which
+//!   must stay within a few percent of the plain full build.
+//!
+//! Both sides of every comparison run in the same process on the same
+//! inputs, so the recorded ratios are robust to host speed; the absolute
+//! µs are machine-dependent.
 //!
 //! The `hotpath` **bin** writes the machine-readable result to
-//! `BENCH_hotpath.json` (the perf-trajectory artifact CI uploads); the
-//! `hotpath` **bench target** runs a reduced iteration count and prints
-//! the JSON, serving as the compile + smoke check.
+//! `BENCH_hotpath.json`; the `hotpath` **bench target** runs a reduced
+//! iteration count and prints the JSON, serving as the compile + smoke
+//! check. CI greps the JSON's `guard` block: a fallback on the
+//! 0.9-overlap sweep fails the job (the delta path silently regressing to
+//! full rebuilds would otherwise go unnoticed).
 
 use scout_core::reference::ReferenceGraph;
-use scout_core::{ResultGraph, ScoutConfig};
-use scout_geometry::{Aabb, ObjectId, QueryRegion, Vec3};
+use scout_core::{GraphBuildKind, ResultGraph, ScoutConfig};
+use scout_geometry::hilbert::hilbert_index_3d;
+use scout_geometry::{Aabb, ObjectId, QueryRegion, SpatialObject, Vec3};
 use scout_index::reference::ReferenceRTree;
 use scout_index::{KnnScratch, RTree, SpatialIndex};
 use scout_sim::QueryScratch;
-use scout_synth::{generate_neurons, NeuronParams};
+use scout_synth::{
+    generate_lung, generate_neurons, generate_roads, Dataset, LungParams, NeuronParams, RoadParams,
+};
 use std::time::Instant;
 
 /// One kernel's before/after wall-clock measurement, in µs per call.
@@ -40,27 +59,97 @@ impl KernelTiming {
     }
 }
 
-/// A full hot-path measurement run.
+/// Kernel timings for one dataset.
 #[derive(Debug, Clone)]
-pub struct HotpathReport {
+pub struct DatasetKernels {
+    /// Dataset name (JSON key).
+    pub name: &'static str,
     /// Dataset object count.
     pub objects: usize,
     /// Pages in the R-tree layout.
     pub pages: usize,
     /// Result objects fed to the graph kernels.
     pub result_objects: usize,
-    /// Timed iterations per kernel.
-    pub iters: usize,
-    /// Grid resolution used for grid hashing.
-    pub grid_resolution: u32,
     /// Per-kernel timings.
     pub kernels: Vec<KernelTiming>,
 }
 
+/// One overlap point of the incremental-vs-full sweep.
+#[derive(Debug, Clone)]
+pub struct OverlapSweep {
+    /// Inter-query result overlap `|retained| / |window|`.
+    pub overlap: f64,
+    /// Timed queries per repetition (after warmup).
+    pub queries: usize,
+    /// Mean µs per query, full rebuild ([`ResultGraph::build_grid_hash`]).
+    pub full_us: f64,
+    /// Mean µs per query through the incremental entry point.
+    pub incremental_us: f64,
+    /// Timed builds served by delta repair.
+    pub incremental_builds: u64,
+    /// Timed builds that fell back to a full rebuild.
+    pub fallback_builds: u64,
+}
+
+impl OverlapSweep {
+    /// full / incremental — the amortized speedup at this overlap.
+    pub fn speedup(&self) -> f64 {
+        self.full_us / self.incremental_us.max(1e-9)
+    }
+}
+
+/// The incremental sweep of one dataset.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Dataset name (JSON key).
+    pub name: &'static str,
+    /// Result objects per sliding window.
+    pub window_objects: usize,
+    /// One entry per overlap point (descending overlap).
+    pub sweeps: Vec<OverlapSweep>,
+}
+
+/// A full hot-path measurement run.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Timed iterations per kernel.
+    pub iters: usize,
+    /// Grid resolution used for grid hashing.
+    pub grid_resolution: u32,
+    /// Kernel timings per dataset; `datasets[0]` is the neuron tissue
+    /// (the PR 3 trajectory numbers).
+    pub datasets: Vec<DatasetKernels>,
+    /// Incremental-vs-full sweeps per dataset.
+    pub incremental: Vec<IncrementalReport>,
+}
+
 impl HotpathReport {
-    /// The timing of one kernel by name.
+    /// The kernel timings of one dataset by name.
+    pub fn dataset(&self, name: &str) -> Option<&DatasetKernels> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+
+    /// The timing of one kernel by name on the neuron dataset (the PR 3
+    /// trajectory series).
     pub fn kernel(&self, name: &str) -> Option<&KernelTiming> {
-        self.kernels.iter().find(|k| k.name == name)
+        self.datasets.first().and_then(|d| d.kernels.iter().find(|k| k.name == name))
+    }
+
+    /// The incremental sweep of one dataset by name.
+    pub fn incremental(&self, name: &str) -> Option<&IncrementalReport> {
+        self.incremental.iter().find(|d| d.name == name)
+    }
+
+    /// Timed fallback builds summed over every dataset's 0.9-overlap
+    /// sweep — the CI guard value: at 0.9 overlap the delta path must
+    /// always fire, so anything nonzero is a heuristic regression.
+    pub fn overlap_0_9_fallbacks(&self) -> u64 {
+        self.incremental
+            .iter()
+            .flat_map(|d| &d.sweeps)
+            .filter(|s| (s.overlap - 0.9).abs() < 1e-9)
+            .map(|s| s.fallback_builds)
+            .sum()
     }
 
     /// Serializes the report as pretty-printed JSON (no external deps).
@@ -68,26 +157,63 @@ impl HotpathReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"dataset\": {{ \"objects\": {}, \"pages\": {}, \"result_objects\": {} }},\n",
-            self.objects, self.pages, self.result_objects
-        ));
-        out.push_str(&format!(
             "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {} }},\n",
             self.iters, self.grid_resolution
         ));
-        out.push_str("  \"kernels\": {\n");
-        for (i, k) in self.kernels.iter().enumerate() {
-            let comma = if i + 1 < self.kernels.len() { "," } else { "" };
+        out.push_str("  \"datasets\": {\n");
+        for (i, d) in self.datasets.iter().enumerate() {
             out.push_str(&format!(
-                "    \"{}\": {{ \"seed_us\": {:.2}, \"flat_us\": {:.2}, \"speedup\": {:.2} }}{}\n",
-                k.name,
-                k.seed_us,
-                k.flat_us,
-                k.speedup(),
-                comma
+                "    \"{}\": {{\n      \"objects\": {}, \"pages\": {}, \"result_objects\": {},\n",
+                d.name, d.objects, d.pages, d.result_objects
             ));
+            out.push_str("      \"kernels\": {\n");
+            for (j, k) in d.kernels.iter().enumerate() {
+                let comma = if j + 1 < d.kernels.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        \"{}\": {{ \"seed_us\": {:.2}, \"flat_us\": {:.2}, \
+                     \"speedup\": {:.2} }}{}\n",
+                    k.name,
+                    k.seed_us,
+                    k.flat_us,
+                    k.speedup(),
+                    comma
+                ));
+            }
+            let comma = if i + 1 < self.datasets.len() { "," } else { "" };
+            out.push_str(&format!("      }}\n    }}{comma}\n"));
         }
-        out.push_str("  }\n}\n");
+        out.push_str("  },\n");
+        out.push_str("  \"incremental\": {\n");
+        for (i, d) in self.incremental.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\n      \"window_objects\": {},\n      \"sweeps\": {{\n",
+                d.name, d.window_objects
+            ));
+            for (j, s) in d.sweeps.iter().enumerate() {
+                let comma = if j + 1 < d.sweeps.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        \"{:.1}\": {{ \"queries\": {}, \"full_us\": {:.2}, \
+                     \"incremental_us\": {:.2}, \"speedup\": {:.2}, \
+                     \"incremental_builds\": {}, \"fallback_builds\": {} }}{}\n",
+                    s.overlap,
+                    s.queries,
+                    s.full_us,
+                    s.incremental_us,
+                    s.speedup(),
+                    s.incremental_builds,
+                    s.fallback_builds,
+                    comma
+                ));
+            }
+            let comma = if i + 1 < self.incremental.len() { "," } else { "" };
+            out.push_str(&format!("      }}\n    }}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"guard\": {{ \"overlap_0_9_fallbacks\": {} }}\n",
+            self.overlap_0_9_fallbacks()
+        ));
+        out.push_str("}\n");
         out
     }
 }
@@ -113,13 +239,8 @@ fn time_us(min_iters: usize, mut f: impl FnMut()) -> f64 {
     t0.elapsed().as_secs_f64() * 1e6 / calls as f64
 }
 
-/// Runs the hot-path kernels on a ~100k-object neuron dataset.
-///
-/// `iters` is the timed iteration count per kernel (the bin uses enough
-/// for stable numbers; the bench smoke target uses a couple).
-pub fn run(iters: usize) -> HotpathReport {
-    let iters = iters.max(1);
-    let dataset = generate_neurons(&NeuronParams::with_target_objects(100_000), crate::seed());
+/// Runs the four per-query kernels of one dataset.
+fn dataset_kernels(name: &'static str, dataset: &Dataset, iters: usize) -> DatasetKernels {
     let objects = &dataset.objects;
     let result_ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
     let region = QueryRegion::from_aabb(dataset.bounds);
@@ -163,7 +284,7 @@ pub fn run(iters: usize) -> HotpathReport {
     });
     kernels.push(KernelTiming { name: "components", seed_us, flat_us });
 
-    // pages_in_region: a query-sized window in the middle of the tissue.
+    // pages_in_region: a query-sized window in the middle of the dataset.
     let center = dataset.bounds.center();
     let extent = dataset.bounds.extent() * 0.25;
     let window = Aabb::from_center_extent(center, extent);
@@ -201,12 +322,206 @@ pub fn run(iters: usize) -> HotpathReport {
         flat_us: flat_us / probes.len() as f64,
     });
 
-    HotpathReport {
+    DatasetKernels {
+        name,
         objects: objects.len(),
         pages: tree.layout().page_count(),
         result_objects: result_ids.len(),
-        iters,
-        grid_resolution: resolution,
         kernels,
+    }
+}
+
+/// Object ids ordered along a Hilbert tour of their centroids: a
+/// spatially coherent traversal, so a sliding window over it models a
+/// result stream following the latent structure.
+fn hilbert_tour(objects: &[SpatialObject], bounds: &Aabb) -> Vec<ObjectId> {
+    const ORDER: u32 = 10; // 1024 cells per axis
+    let extent = bounds.extent();
+    let quantize = |p: Vec3| -> [u32; 3] {
+        let mut q = [0u32; 3];
+        let rel = p - bounds.min;
+        for (a, slot) in q.iter_mut().enumerate() {
+            let t = if extent[a] <= 0.0 { 0.0 } else { rel[a] / extent[a] };
+            *slot = ((t * 1023.0).clamp(0.0, 1023.0)) as u32;
+        }
+        q
+    };
+    let mut keyed: Vec<(u64, ObjectId)> =
+        objects.iter().map(|o| (hilbert_index_3d(quantize(o.centroid()), ORDER), o.id)).collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Number of timed queries per sweep repetition.
+const SWEEP_QUERIES: usize = 10;
+/// Untimed warmup queries per repetition (buffer growth + cache warmup).
+const SWEEP_WARMUP: usize = 2;
+
+/// Measures one overlap point: sliding windows over `tour` under the
+/// fixed `region` lattice, incremental entry point vs plain full rebuild
+/// on identical window sequences.
+fn run_sweep(
+    dataset: &Dataset,
+    tour: &[ObjectId],
+    overlap: f64,
+    repeats: usize,
+) -> (usize, OverlapSweep) {
+    let simplification = ScoutConfig::default().simplification;
+    let objects = &dataset.objects;
+
+    let steps = SWEEP_WARMUP + SWEEP_QUERIES;
+    // The last window must fit even at zero overlap (advance = w).
+    let w = tour.len() / (steps + 2);
+    let advance = (((1.0 - overlap) * w as f64).round() as usize).max(1);
+    let windows: Vec<&[ObjectId]> =
+        (0..steps).map(|k| &tour[k * advance..k * advance + w]).collect();
+    // Viewport: the analysis region swept by this sequence (union of the
+    // windows' object bounds). The lattice keeps the paper-default cell
+    // *volume of one query-sized region* — a window's bounding box — so
+    // the viewport's total cell count scales with how much space the
+    // sequence sweeps (§4.2 prescribes resolution per query region, and
+    // the paper's strategy is "use a fine resolution and work with [a]
+    // sparser approximate graph").
+    let mut window0 = objects[windows[0][0].index()].shape.aabb();
+    for &oid in windows[0].iter() {
+        window0 = window0.union(&objects[oid.index()].shape.aabb());
+    }
+    let mut viewport = window0;
+    for win in &windows[1..] {
+        for &oid in win.iter() {
+            viewport = viewport.union(&objects[oid.index()].shape.aabb());
+        }
+    }
+    let base_res = ScoutConfig::default().grid_resolution as f64;
+    let scale = (viewport.volume() / window0.volume().max(1e-12)).max(1.0);
+    let resolution = (base_res * scale).min(16_777_216.0) as u32;
+    let region = QueryRegion::from_aabb(viewport);
+
+    let mut scratch = QueryScratch::new();
+
+    // Incremental vs full on identical window sequences, interleaved per
+    // repetition so clock drift hits both sides equally. The incremental
+    // side starts cold each repetition (the first warmup build is the
+    // capture) and is timed over the steady-state windows.
+    let mut inc_graph = ResultGraph::default();
+    let mut full_graph = ResultGraph::default();
+    let mut inc_total = 0.0f64;
+    let mut full_total = 0.0f64;
+    let mut incremental_builds = 0u64;
+    let mut fallback_builds = 0u64;
+    for _ in 0..repeats {
+        inc_graph.invalidate_cache();
+        for win in &windows[..SWEEP_WARMUP] {
+            inc_graph.build_grid_hash_incremental(
+                &mut scratch,
+                objects,
+                win,
+                &region,
+                resolution,
+                simplification,
+                0.5,
+            );
+        }
+        let t0 = Instant::now();
+        for win in &windows[SWEEP_WARMUP..] {
+            let (_, kind) = inc_graph.build_grid_hash_incremental(
+                &mut scratch,
+                objects,
+                win,
+                &region,
+                resolution,
+                simplification,
+                0.5,
+            );
+            match kind {
+                GraphBuildKind::Incremental => incremental_builds += 1,
+                GraphBuildKind::Full(_) => fallback_builds += 1,
+            }
+        }
+        inc_total += t0.elapsed().as_secs_f64();
+
+        for win in &windows[..SWEEP_WARMUP] {
+            full_graph.build_grid_hash(
+                &mut scratch,
+                objects,
+                win,
+                &region,
+                resolution,
+                simplification,
+            );
+        }
+        let t0 = Instant::now();
+        for win in &windows[SWEEP_WARMUP..] {
+            full_graph.build_grid_hash(
+                &mut scratch,
+                objects,
+                win,
+                &region,
+                resolution,
+                simplification,
+            );
+        }
+        full_total += t0.elapsed().as_secs_f64();
+    }
+
+    let calls = (repeats * SWEEP_QUERIES) as f64;
+    (
+        w,
+        OverlapSweep {
+            overlap,
+            queries: SWEEP_QUERIES,
+            full_us: full_total * 1e6 / calls,
+            incremental_us: inc_total * 1e6 / calls,
+            incremental_builds,
+            fallback_builds,
+        },
+    )
+}
+
+/// The overlap points of the incremental sweep (descending).
+pub const SWEEP_OVERLAPS: [f64; 4] = [0.9, 0.7, 0.3, 0.0];
+
+fn incremental_report(name: &'static str, dataset: &Dataset, repeats: usize) -> IncrementalReport {
+    let tour = hilbert_tour(&dataset.objects, &dataset.bounds);
+    let mut window_objects = 0;
+    let mut sweeps = Vec::new();
+    for overlap in SWEEP_OVERLAPS {
+        let (w, sweep) = run_sweep(dataset, &tour, overlap, repeats);
+        window_objects = w;
+        sweeps.push(sweep);
+    }
+    IncrementalReport { name, window_objects, sweeps }
+}
+
+/// Runs the hot-path kernels and the incremental sweeps on all three
+/// synthetic datasets.
+///
+/// `iters` is the timed iteration count per kernel (the bin uses enough
+/// for stable numbers; the bench smoke target uses a couple). The sweep
+/// repetition count scales with it.
+pub fn run(iters: usize) -> HotpathReport {
+    let iters = iters.max(1);
+    let seed = crate::seed();
+    let neuron = generate_neurons(&NeuronParams::with_target_objects(100_000), seed);
+    let lung = generate_lung(&LungParams { generations: 8, ..Default::default() }, seed);
+    let roads = generate_roads(&RoadParams { grid_n: 96, ..Default::default() }, seed);
+
+    let datasets = vec![
+        dataset_kernels("neuron", &neuron, iters),
+        dataset_kernels("lung", &lung, iters),
+        dataset_kernels("roads", &roads, iters),
+    ];
+    let repeats = iters.clamp(1, 8);
+    let incremental = vec![
+        incremental_report("neuron", &neuron, repeats),
+        incremental_report("lung", &lung, repeats),
+        incremental_report("roads", &roads, repeats),
+    ];
+
+    HotpathReport {
+        iters,
+        grid_resolution: ScoutConfig::default().grid_resolution,
+        datasets,
+        incremental,
     }
 }

@@ -27,6 +27,10 @@ use std::collections::HashSet;
 pub struct CandidateTracker {
     /// Forward exit objects of the previous query's candidate components.
     prev_exit_ids: HashSet<ObjectId>,
+    /// Spare set the previous generation's buffer is recycled into, so
+    /// [`CandidateTracker::commit_ids`] never builds a fresh `HashSet`
+    /// once both buffers have warmed to the workload.
+    spare_exit_ids: HashSet<ObjectId>,
     /// Predicted next-query locations from the previous query's exits.
     prev_predictions: Vec<Vec3>,
     /// Number of resets observed (diagnostics).
@@ -119,7 +123,22 @@ impl CandidateTracker {
         predictions: &[Vec3],
         was_reset: bool,
     ) {
-        self.prev_exit_ids = exit_objects;
+        self.commit_ids(exit_objects, predictions, was_reset);
+    }
+
+    /// [`CandidateTracker::commit`] from an id iterator, recycling the
+    /// tracker's two exit-set buffers: the outgoing generation's set
+    /// becomes the next commit's target, so steady-state commits perform
+    /// no `HashSet` construction.
+    pub fn commit_ids<I: IntoIterator<Item = ObjectId>>(
+        &mut self,
+        exit_objects: I,
+        predictions: &[Vec3],
+        was_reset: bool,
+    ) {
+        std::mem::swap(&mut self.prev_exit_ids, &mut self.spare_exit_ids);
+        self.prev_exit_ids.clear();
+        self.prev_exit_ids.extend(exit_objects);
         self.prev_predictions.clear();
         self.prev_predictions.extend_from_slice(predictions);
         if was_reset {
@@ -130,6 +149,7 @@ impl CandidateTracker {
     /// Clears all state (sequence boundary).
     pub fn clear(&mut self) {
         self.prev_exit_ids.clear();
+        self.spare_exit_ids.clear();
         self.prev_predictions.clear();
         self.resets = 0;
     }

@@ -40,6 +40,14 @@ pub struct ScoutConfig {
     /// Exit/entry matching tolerance for candidate continuity across a
     /// gap, as a fraction of the query side.
     pub continuity_tolerance_frac: f64,
+    /// Minimum result-set overlap `|retained| / max(|prev|, |new|)` for
+    /// the incremental graph build to repair the previous CSR instead of
+    /// rebuilding (see
+    /// [`ResultGraph::build_grid_hash_incremental`](crate::ResultGraph::build_grid_hash_incremental)
+    /// and DESIGN.md §7). Below it, or whenever the hashing lattice moved,
+    /// SCOUT falls back to the full build — so the worst case never
+    /// regresses. Values above 1.0 disable the delta path entirely.
+    pub incremental_overlap_threshold: f64,
     /// Seed for the strategy's random choices (deep picks, k-means init).
     pub seed: u64,
 }
@@ -53,6 +61,7 @@ impl Default for ScoutConfig {
             max_prefetch_locations: 8,
             incremental_steps: 5,
             continuity_tolerance_frac: 0.35,
+            incremental_overlap_threshold: 0.5,
             seed: 0xC0FFEE,
         }
     }

@@ -26,12 +26,67 @@
 //! labeling are identical to the reference build, so simulation traces are
 //! unchanged; only the neighbor ordering is now canonical (ascending)
 //! instead of hash-map incidental.
+//!
+//! ## Incremental maintenance
+//!
+//! Consecutive latent-feature-following queries overlap heavily, so the
+//! graph also carries a [`GraphCache`]: the per-vertex cell lists and the
+//! cell-run index of its previous build. While the hashing lattice is
+//! unchanged, [`ResultGraph::build_grid_hash_incremental`] diffs the new
+//! result against the previous one, hashes only the entering objects, and
+//! repairs the CSR in place — producing bit-identical output to a fresh
+//! [`ResultGraph::build_grid_hash`] (same vertices, adjacency, components
+//! and charged [`CpuUnits`]) at a fraction of the cost (DESIGN.md §7).
 
-use scout_geometry::{ObjectAdjacency, ObjectId, QueryRegion, SpatialObject, UniformGrid};
+use crate::graph_cache::{FullBuildReason, GraphBuildKind, GraphCache, GraphCacheStats};
+use scout_geometry::{
+    ObjectAdjacency, ObjectId, QueryRegion, Simplification, SpatialObject, UniformGrid,
+};
 use scout_sim::{CpuUnits, QueryScratch};
 
 /// Local vertex index within one result graph.
 pub type VertexId = u32;
+
+/// Constant-shift renumbering between two results, when the retained old
+/// vertices are exactly the contiguous range `[lo, hi)` and every one
+/// renumbers to `ov - shift` (the sliding-window common case). `None`
+/// falls back to the gather maps in [`QueryScratch`].
+type AffineRemap = Option<(u32, u32, i64)>;
+
+/// Renumbers one *old* vertex id under the repair's renumbering
+/// (`u32::MAX` = leaving): constant-shift arithmetic when affine, gather
+/// through the scratch map otherwise.
+#[inline(always)]
+fn renumber_old(map: &[u32], affine: AffineRemap, ov: u32) -> u32 {
+    match affine {
+        Some((lo, hi, shift)) => {
+            if ov >= lo && ov < hi {
+                ov.wrapping_sub(shift as u32)
+            } else {
+                u32::MAX
+            }
+        }
+        None => map[ov as usize],
+    }
+}
+
+/// The inverse of [`renumber_old`]: the previous vertex of new vertex `v`
+/// (`u32::MAX` = entering).
+#[inline(always)]
+fn renumber_new(map: &[u32], affine: AffineRemap, v: u32) -> u32 {
+    match affine {
+        Some((lo, hi, shift)) => {
+            let new_lo = (lo as i64 - shift) as u32;
+            let new_hi = (hi as i64 - shift) as u32;
+            if v >= new_lo && v < new_hi {
+                v.wrapping_add(shift as u32)
+            } else {
+                u32::MAX
+            }
+        }
+        None => map[v as usize],
+    }
+}
 
 /// The dense reverse index is used when the result ids span at most this
 /// many times the result size (otherwise the table would be mostly holes
@@ -67,6 +122,10 @@ pub struct ResultGraph {
     remap_pairs: Vec<(ObjectId, VertexId)>,
     /// Undirected edge count, fixed at construction (was an O(V) fold).
     edge_count: usize,
+    /// Persistent incremental-build state (previous build's cell lists and
+    /// cell runs, plus the repair double buffers). Owned by the graph so
+    /// the cache can only ever describe *this* graph's last build.
+    cache: GraphCache,
 }
 
 impl ResultGraph {
@@ -117,18 +176,24 @@ impl ResultGraph {
         &self.object_ids
     }
 
-    /// Resident size of the graph structures (CSR arrays + reverse index),
-    /// for the §8.2 memory measurements. Exact for the flat layout: no
-    /// hash-bucket overhead, no per-vertex `Vec` headers.
+    /// Resident size of the graph structures (CSR arrays, reverse index
+    /// and the persistent incremental cache), for the §8.2 memory
+    /// measurements. Exact for the flat layout: no hash-bucket overhead,
+    /// no per-vertex `Vec` headers. The incremental cache is counted by
+    /// capacity (its buffers stay resident between queries), so
+    /// cache-pressure reporting sees the real footprint.
     pub fn memory_bytes(&self) -> usize {
         self.object_ids.len() * std::mem::size_of::<ObjectId>()
             + self.offsets.len() * std::mem::size_of::<u32>()
             + self.targets.len() * std::mem::size_of::<VertexId>()
             + self.remap_dense.len() * std::mem::size_of::<u32>()
             + self.remap_pairs.len() * std::mem::size_of::<(ObjectId, VertexId)>()
+            + self.cache.memory_bytes()
     }
 
-    /// Empties the graph, retaining every buffer's capacity.
+    /// Empties the graph, retaining every buffer's capacity. The
+    /// incremental cache no longer describes this graph afterwards, so it
+    /// is invalidated (its buffers keep their capacity too).
     pub fn clear(&mut self) {
         self.object_ids.clear();
         self.offsets.clear();
@@ -137,6 +202,31 @@ impl ResultGraph {
         self.remap_base = 0;
         self.remap_pairs.clear();
         self.edge_count = 0;
+        self.cache.invalidate();
+    }
+
+    /// Drops the incremental-build state (sequence boundary / session
+    /// reset): the next [`ResultGraph::build_grid_hash_incremental`] runs
+    /// the full pipeline. Buffer capacity and stats are retained.
+    pub fn invalidate_cache(&mut self) {
+        self.cache.invalidate();
+    }
+
+    /// Counters of how builds through the incremental entry point were
+    /// resolved (delta repair vs full rebuild, by fallback reason).
+    pub fn cache_stats(&self) -> GraphCacheStats {
+        self.cache.stats()
+    }
+
+    /// Zeroes the incremental-build counters.
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Resident bytes of the persistent incremental state alone (also
+    /// included in [`ResultGraph::memory_bytes`]).
+    pub fn cache_memory_bytes(&self) -> usize {
+        self.cache.memory_bytes()
     }
 
     /// Connected components; returns (component id per vertex, count).
@@ -242,13 +332,50 @@ impl ResultGraph {
         resolution: u32,
         simplification: scout_geometry::Simplification,
     ) -> CpuUnits {
+        self.build_grid_hash_impl(
+            scratch,
+            None,
+            objects,
+            result_ids,
+            region,
+            resolution,
+            simplification,
+        )
+    }
+
+    /// The full grid-hash pipeline, optionally capturing the pass-1 cell
+    /// lists and the pass-2 cell runs into `capture` (the incremental
+    /// entry point's fallback path; see [`GraphCache`]). The capture is a
+    /// pair of flat copies — a few percent of the build — and the plain
+    /// [`ResultGraph::build_grid_hash`] skips it entirely.
+    // The trailing parameters are the hashing configuration the public
+    // builders already take; bundling them would churn every caller.
+    #[allow(clippy::too_many_arguments)]
+    fn build_grid_hash_impl(
+        &mut self,
+        scratch: &mut QueryScratch,
+        mut capture: Option<&mut GraphCache>,
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        region: &QueryRegion,
+        resolution: u32,
+        simplification: scout_geometry::Simplification,
+    ) -> CpuUnits {
         self.clear();
         let mut units = CpuUnits::default();
+        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
         if result_ids.is_empty() {
             self.offsets.push(0);
+            if let Some(cache) = capture.as_deref_mut() {
+                cache.cell_offsets.clear();
+                cache.cell_offsets.push(0);
+                cache.cells.clear();
+                cache.runs.clear();
+                cache.sig = crate::graph_cache::GridSignature::of(&grid);
+                cache.valid = true;
+            }
             return units;
         }
-        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
 
         // Pass 1: vertices (result order — the numbering every consumer
         // relies on) and (cell, vertex) pairs.
@@ -266,6 +393,27 @@ impl ResultGraph {
             }
         }
         self.rebuild_remap();
+        if let Some(cache) = capture.as_deref_mut() {
+            // The pass-1 pair list is grouped by vertex in ascending
+            // order (cells sorted + deduped within each group): exactly
+            // the per-vertex cell-list CSR the cache wants. Cells are
+            // copied in one bulk pass; the offsets walk only advances a
+            // cursor, so the capture stays a few percent of the build.
+            cache.cells.clear();
+            cache.cells.extend(scratch.cell_pairs.iter().map(|&(c, _)| c));
+            cache.cell_offsets.clear();
+            cache.cell_offsets.reserve(result_ids.len() + 1);
+            cache.cell_offsets.push(0);
+            let pairs = &scratch.cell_pairs[..];
+            let mut k = 0usize;
+            for v in 0..result_ids.len() as u32 {
+                while k < pairs.len() && pairs[k].1 == v {
+                    k += 1;
+                }
+                cache.cell_offsets.push(k as u32);
+            }
+            debug_assert_eq!(k, pairs.len());
+        }
 
         // Pass 2: group pairs by cell — a counting sort over cell ids when
         // the grid is small enough for a histogram (it always is for the
@@ -296,6 +444,12 @@ impl ResultGraph {
             std::mem::swap(&mut scratch.cell_pairs, &mut scratch.edges);
         } else {
             scratch.cell_pairs.sort_unstable();
+        }
+        if let Some(cache) = capture.as_deref_mut() {
+            // The grouped pair list is the cell-run index the repair
+            // co-walks on the next query.
+            cache.runs.clear();
+            cache.runs.extend_from_slice(&scratch.cell_pairs);
         }
 
         // Pass 3: degrees (duplicates included) straight off the cell
@@ -346,6 +500,10 @@ impl ResultGraph {
             i = j;
         }
         self.dedup_rows(&mut units);
+        if let Some(cache) = capture {
+            cache.sig = crate::graph_cache::GridSignature::of(&grid);
+            cache.valid = true;
+        }
         units
     }
 
@@ -382,6 +540,689 @@ impl ResultGraph {
         }
         self.finish_csr(scratch, &mut units);
         units
+    }
+
+    /// Rebuilds this graph by grid hashing **incrementally** when the
+    /// previous build can be reused, falling back to (and capturing from)
+    /// the full [`ResultGraph::build_grid_hash`] pipeline otherwise.
+    ///
+    /// The delta path fires when all of the following hold, and is
+    /// **bit-identical** to a fresh full build — same vertex numbering,
+    /// reverse index, CSR adjacency (sorted rows), edge/component
+    /// structure and charged [`CpuUnits`] (property-tested against the
+    /// full build and the seed reference over sliding-window sequences):
+    ///
+    /// * the cache is warm (the last build of this graph went through this
+    ///   entry point and nothing invalidated it since);
+    /// * the hashing lattice is bit-identical to the previous query's —
+    ///   per-object cell lists are a pure function of `(lattice, object)`,
+    ///   so a moved region or changed resolution forces a rebuild;
+    /// * retained objects appear in the same relative order as before
+    ///   (true for any index whose retrieval order is a filter of one
+    ///   fixed global order, e.g. the R-tree's DFS; crawl-ordered sparse
+    ///   results may violate it), so the old CSR rows renumber monotonely;
+    /// * the result overlap `|retained| / max(|previous|, |new|)` is at
+    ///   least `overlap_threshold` (two empty results count as fully
+    ///   overlapping). Thresholds above 1.0 disable the delta path.
+    ///
+    /// Only objects *entering* the region are hashed; edges among retained
+    /// objects are copied (filtered of leaving vertices and renumbered),
+    /// and only rows touched by the delta gain merged-in neighbors.
+    ///
+    /// Returns the units (identical to a full build's) and which path ran.
+    // The trailing parameters are the hashing configuration plus the
+    // fallback knob; bundling them would churn every caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_grid_hash_incremental(
+        &mut self,
+        scratch: &mut QueryScratch,
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        region: &QueryRegion,
+        resolution: u32,
+        simplification: Simplification,
+        overlap_threshold: f64,
+    ) -> (CpuUnits, GraphBuildKind) {
+        let grid = UniformGrid::with_resolution(*region.aabb(), resolution);
+        let sig = crate::graph_cache::GridSignature::of(&grid);
+        // Take the cache out so the repair can borrow it and the graph
+        // fields independently; every return path puts it back.
+        let mut cache = std::mem::take(&mut self.cache);
+
+        let decision: Result<AffineRemap, FullBuildReason> = if !cache.valid {
+            Err(FullBuildReason::Cold)
+        } else if sig != cache.sig {
+            Err(FullBuildReason::GridChanged)
+        } else {
+            self.diff_previous_result(scratch, result_ids, overlap_threshold)
+        };
+
+        match decision {
+            Ok(affine) => {
+                cache.stats.incremental_builds += 1;
+                let units = self.repair_grid_hash(
+                    scratch,
+                    &mut cache,
+                    objects,
+                    result_ids,
+                    &grid,
+                    simplification,
+                    affine,
+                );
+                self.cache = cache;
+                (units, GraphBuildKind::Incremental)
+            }
+            Err(reason) => {
+                cache.stats.record_full(reason);
+                let units = self.build_grid_hash_impl(
+                    scratch,
+                    Some(&mut cache),
+                    objects,
+                    result_ids,
+                    region,
+                    resolution,
+                    simplification,
+                );
+                self.cache = cache;
+                (units, GraphBuildKind::Full(reason))
+            }
+        }
+    }
+
+    /// Diffs the incoming result against the previous one (this graph),
+    /// deciding between delta repair and a full rebuild.
+    ///
+    /// Three stages, cheapest first:
+    ///
+    /// 1. **Slide probes** — a latent-feature-following stream usually
+    ///    *slides*: the new result is the old one minus a contiguous run
+    ///    of leaving objects plus a contiguous run of entering ones, in
+    ///    unchanged order. One reverse-index lookup anchors the candidate
+    ///    alignment and a single slice comparison verifies it exactly, so
+    ///    the common case costs O(overlap) vectorized compares — no maps.
+    ///    A verified slide yields an affine renumbering. (The verified
+    ///    block need not be the complete intersection for correctness: a
+    ///    retained object outside the block is simply treated as leaving
+    ///    + re-entering, which hashes to the identical cell list.)
+    /// 2. **Sampled overlap estimate** — clearly disjoint results (resets,
+    ///    structure jumps) bail to the full rebuild before paying for an
+    ///    exact diff. Path selection only: both paths are bit-identical.
+    /// 3. **Exact diff** — renumbering maps, monotonicity check and exact
+    ///    overlap, for monotone-but-not-sliding results (e.g. thinned
+    ///    sparse result sets).
+    fn diff_previous_result(
+        &self,
+        scratch: &mut QueryScratch,
+        result_ids: &[ObjectId],
+        overlap_threshold: f64,
+    ) -> Result<AffineRemap, FullBuildReason> {
+        let prev_ids = &self.object_ids[..];
+        let prev_n = prev_ids.len();
+        let new_n = result_ids.len();
+        let denom = prev_n.max(new_n);
+        let meets =
+            |retained: usize| denom == 0 || retained as f64 / denom as f64 >= overlap_threshold;
+
+        // (1) Slide probes.
+        if new_n > 0 && prev_n > 0 {
+            // Forward slide: a prefix of the old result left the region.
+            if let Some(k) = self.vertex_of(result_ids[0]) {
+                let k = k as usize;
+                let m = (prev_n - k).min(new_n);
+                if meets(m) && prev_ids[k..k + m] == result_ids[..m] {
+                    return Ok(Some((k as u32, (k + m) as u32, k as i64)));
+                }
+            }
+            // Backward slide: entering objects precede the retained block.
+            if let Some(j) = result_ids.iter().position(|&o| o == prev_ids[0]) {
+                let m = (new_n - j).min(prev_n);
+                if meets(m) && result_ids[j..j + m] == prev_ids[..m] {
+                    return Ok(Some((0, m as u32, -(j as i64))));
+                }
+            }
+        }
+
+        // (2) Sampled overlap estimate (margin 0.7·threshold: borderline
+        // estimates still take the exact diff below).
+        if new_n > 0 && overlap_threshold > 0.0 {
+            let samples = new_n.min(64);
+            let stride = (new_n / samples).max(1);
+            let hits =
+                (0..samples).filter(|&i| self.vertex_of(result_ids[i * stride]).is_some()).count();
+            if (hits as f64 / samples as f64) < 0.7 * overlap_threshold {
+                return Err(FullBuildReason::LowOverlap);
+            }
+        }
+
+        // (3) Exact diff.
+        scratch.map_new_to_old.clear();
+        scratch.map_new_to_old.resize(new_n, u32::MAX);
+        scratch.map_old_to_new.clear();
+        scratch.map_old_to_new.resize(prev_n, u32::MAX);
+        let mut retained = 0usize;
+        let mut last_old: i64 = -1;
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        let mut shift = 0i64;
+        let mut affine = true;
+        for (v, &oid) in result_ids.iter().enumerate() {
+            if let Some(ov) = self.vertex_of(oid) {
+                if (ov as i64) <= last_old {
+                    return Err(FullBuildReason::Reordered);
+                }
+                last_old = ov as i64;
+                scratch.map_new_to_old[v] = ov;
+                scratch.map_old_to_new[ov as usize] = v as u32;
+                let d = ov as i64 - v as i64;
+                if retained == 0 {
+                    shift = d;
+                    lo = ov;
+                } else if d != shift {
+                    affine = false;
+                }
+                hi = ov;
+                retained += 1;
+            }
+        }
+        if !meets(retained) {
+            return Err(FullBuildReason::LowOverlap);
+        }
+        // Monotone + affine ⇒ the retained old vertices are exactly the
+        // contiguous range [lo, hi].
+        let contiguous = retained > 0 && (hi - lo) as usize + 1 == retained;
+        Ok(if affine && contiguous { Some((lo, hi + 1, shift)) } else { None })
+    }
+
+    /// Delta repair of the CSR graph (the incremental path of
+    /// [`ResultGraph::build_grid_hash_incremental`]).
+    ///
+    /// Preconditions (established by the caller): `self` is the previous
+    /// query's graph, `cache` its matching cell lists / runs on the same
+    /// lattice, `scratch.map_new_to_old` / `map_old_to_new` the monotone
+    /// renumbering between the two results (`affine` its constant-shift
+    /// form when the renumbering is a contiguous range shift — the
+    /// sliding-window common case — letting the hot loops renumber with
+    /// arithmetic instead of gather loads).
+    ///
+    /// The repair exploits that edges among retained vertices are
+    /// unchanged — both endpoints kept their exact cell lists — so:
+    ///
+    /// 1. retained vertices copy their cached cell list (coalesced over
+    ///    runs of consecutive vertices); entering ones are hashed and
+    ///    their `(cell, vertex)` pairs collected;
+    /// 2. one merge co-walks the cached cell runs with the entering pairs,
+    ///    emitting the repaired run index and every co-location incidence
+    ///    involving an entering vertex;
+    /// 3. those incidences are grouped per vertex and deduped into sorted
+    ///    *delta rows* (an entering vertex cannot already be a neighbor);
+    /// 4. leaving vertices' rows are scanned once to count the incidences
+    ///    their neighbors lose;
+    /// 5. final degrees = old degree − lost + delta, prefix-summed into
+    ///    fresh offsets;
+    /// 6. each row is written as a sorted merge of (surviving old row,
+    ///    renumbered) and its delta row — untouched rows (no leaving
+    ///    neighbors, no delta) take a branch-free renumber-copy — and the
+    ///    new arrays are swapped in. No per-row sort, no dedup pass.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_grid_hash(
+        &mut self,
+        scratch: &mut QueryScratch,
+        cache: &mut GraphCache,
+        objects: &[SpatialObject],
+        result_ids: &[ObjectId],
+        grid: &UniformGrid,
+        simplification: Simplification,
+        affine: AffineRemap,
+    ) -> CpuUnits {
+        let mut units = CpuUnits::default();
+        let new_n = result_ids.len();
+        let prev_n = self.offsets.len().saturating_sub(1);
+        // Probe-verified slides never touch the maps; only the exact-diff
+        // path guarantees they are sized.
+        debug_assert!(affine.is_some() || prev_n == scratch.map_old_to_new.len());
+        debug_assert!(affine.is_some() || new_n == scratch.map_new_to_old.len());
+
+        // Phase 1: vertex table; per-vertex cell lists (cached copy for
+        // retained vertices — coalesced into one memcpy per run of
+        // consecutive old vertices — fresh hash for entering ones);
+        // entering (cell, vertex) pairs.
+        self.object_ids.clear();
+        self.object_ids.extend_from_slice(result_ids);
+        units.graph_object_inserts += new_n as u64;
+        cache.back_cell_offsets.clear();
+        cache.back_cell_offsets.push(0);
+        cache.back_cells.clear();
+        scratch.cell_pairs.clear();
+        {
+            let mut v = 0usize;
+            while v < new_n {
+                let ov = renumber_new(&scratch.map_new_to_old, affine, v as u32);
+                if ov != u32::MAX {
+                    let mut len = 1usize;
+                    while v + len < new_n
+                        && renumber_new(&scratch.map_new_to_old, affine, (v + len) as u32)
+                            == ov + len as u32
+                    {
+                        len += 1;
+                    }
+                    let s = cache.cell_offsets[ov as usize];
+                    let base = cache.back_cells.len() as u32;
+                    for k in 1..=len {
+                        cache
+                            .back_cell_offsets
+                            .push(base + cache.cell_offsets[ov as usize + k] - s);
+                    }
+                    let e = cache.cell_offsets[ov as usize + len];
+                    cache.back_cells.extend_from_slice(&cache.cells[s as usize..e as usize]);
+                    v += len;
+                } else {
+                    let oid = result_ids[v];
+                    let simplified = objects[oid.index()].shape.simplified(simplification);
+                    scratch.cells.clear();
+                    grid.cells_for_simplified(&simplified, &mut scratch.cells);
+                    scratch.cells.sort_unstable();
+                    scratch.cells.dedup();
+                    for &c in &scratch.cells {
+                        cache.back_cells.push(c);
+                        scratch.cell_pairs.push((c, v as u32));
+                    }
+                    cache.back_cell_offsets.push(cache.back_cells.len() as u32);
+                    v += 1;
+                }
+            }
+        }
+        self.repair_remap(scratch, cache, affine);
+
+        // Phase 2: entering pairs grouped by cell (lexicographic also
+        // sorts vertices within a cell, keeping the run index canonical).
+        scratch.cell_pairs.sort_unstable();
+
+        // Phase 3: merge the cached runs with the entering pairs,
+        // producing the repaired run index and the duplicate-inclusive
+        // incidence list of every co-location involving an entering
+        // vertex. Cells with no entering member — almost all of them —
+        // take the per-pair fast path: their edges are already in the old
+        // CSR, so the pair is just renumber-filtered into the new runs.
+        cache.back_runs.clear();
+        {
+            let QueryScratch { cell_pairs, cells, edges, map_old_to_new, .. } = scratch;
+            edges.clear();
+            let runs = &cache.runs[..];
+            let added: &[(u32, u32)] = cell_pairs;
+            let back_runs = &mut cache.back_runs;
+            // Emits one group of entering-only pairs sharing `added[j].0`
+            // and their mutual incidences; returns the next j.
+            let emit_added_cell =
+                |j: usize, edges: &mut Vec<(u32, u32)>, back_runs: &mut Vec<(u32, u32)>| -> usize {
+                    let cell = added[j].0;
+                    let mut jn = j;
+                    while jn < added.len() && added[jn].0 == cell {
+                        jn += 1;
+                    }
+                    for &(_, av) in &added[j..jn] {
+                        back_runs.push((cell, av));
+                    }
+                    for k in j..jn {
+                        for k2 in j..jn {
+                            if k2 != k {
+                                edges.push((added[k].1, added[k2].1));
+                            }
+                        }
+                    }
+                    jn
+                };
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < runs.len() {
+                let (c, ov) = runs[i];
+                while j < added.len() && added[j].0 < c {
+                    j = emit_added_cell(j, edges, back_runs);
+                }
+                if j < added.len() && added[j].0 == c {
+                    // Mixed cell: collect the surviving members, emit the
+                    // repaired run and every incidence with the entering
+                    // members.
+                    cells.clear();
+                    while i < runs.len() && runs[i].0 == c {
+                        let nv = renumber_old(map_old_to_new, affine, runs[i].1);
+                        if nv != u32::MAX {
+                            cells.push(nv);
+                        }
+                        i += 1;
+                    }
+                    let j0 = j;
+                    while j < added.len() && added[j].0 == c {
+                        j += 1;
+                    }
+                    for &nv in cells.iter() {
+                        back_runs.push((c, nv));
+                    }
+                    for &(_, av) in &added[j0..j] {
+                        back_runs.push((c, av));
+                    }
+                    for k in j0..j {
+                        let a = added[k].1;
+                        for &m in cells.iter() {
+                            edges.push((a, m));
+                            edges.push((m, a));
+                        }
+                        for (k2, &(_, b)) in added[j0..j].iter().enumerate() {
+                            if k2 + j0 != k {
+                                edges.push((a, b));
+                            }
+                        }
+                    }
+                } else {
+                    let nv = renumber_old(map_old_to_new, affine, ov);
+                    if nv != u32::MAX {
+                        back_runs.push((c, nv));
+                    }
+                    i += 1;
+                }
+            }
+            while j < added.len() {
+                j = emit_added_cell(j, edges, back_runs);
+            }
+        }
+
+        // Phase 4: group the incidences by vertex (counting sort) and
+        // sort + dedup each group into the delta rows: the sorted, unique
+        // set of entering neighbors each vertex gains. Untouched rows are
+        // skipped without a sort call.
+        {
+            let QueryScratch { edges, counts, delta_offsets, delta_targets, .. } = scratch;
+            counts.clear();
+            counts.resize(new_n, 0);
+            for &(a, _) in edges.iter() {
+                counts[a as usize] += 1;
+            }
+            let total = Self::prefix_sum_offsets(delta_offsets, counts);
+            delta_targets.clear();
+            delta_targets.resize(total, 0);
+            for c in counts.iter_mut() {
+                *c = 0;
+            }
+            for &(a, b) in edges.iter() {
+                let idx = delta_offsets[a as usize] + counts[a as usize];
+                delta_targets[idx as usize] = b;
+                counts[a as usize] += 1;
+            }
+            let mut write = 0usize;
+            for v in 0..new_n {
+                let s = delta_offsets[v] as usize;
+                let e = delta_offsets[v + 1] as usize;
+                delta_offsets[v] = write as u32;
+                if s == e {
+                    continue;
+                }
+                if e - s == 1 {
+                    delta_targets[write] = delta_targets[s];
+                    write += 1;
+                    continue;
+                }
+                let row = &mut delta_targets[s..e];
+                if row.len() <= 16 {
+                    // Tiny rows are the common case; inline insertion sort
+                    // skips the general-sort dispatch per row.
+                    for idx in 1..row.len() {
+                        let val = row[idx];
+                        let mut k = idx;
+                        while k > 0 && row[k - 1] > val {
+                            row[k] = row[k - 1];
+                            k -= 1;
+                        }
+                        row[k] = val;
+                    }
+                } else {
+                    row.sort_unstable();
+                }
+                let mut unique = 0usize;
+                for idx in 0..row.len() {
+                    if unique == 0 || row[idx] != row[unique - 1] {
+                        row[unique] = row[idx];
+                        unique += 1;
+                    }
+                }
+                delta_targets.copy_within(s..s + unique, write);
+                write += unique;
+            }
+            delta_offsets[new_n] = write as u32;
+            delta_targets.truncate(write);
+        }
+
+        // Phase 5: incidences each old vertex loses to leaving neighbors
+        // (one scan over the leaving vertices' rows).
+        {
+            let QueryScratch { map_old_to_new, removed_counts, .. } = scratch;
+            removed_counts.clear();
+            removed_counts.resize(prev_n, 0);
+            let scan = |range: std::ops::Range<usize>, removed_counts: &mut Vec<u32>| {
+                for ov in range {
+                    if affine.is_none()
+                        && renumber_old(map_old_to_new, affine, ov as u32) != u32::MAX
+                    {
+                        continue;
+                    }
+                    let s = self.offsets[ov] as usize;
+                    let e = self.offsets[ov + 1] as usize;
+                    for &w in &self.targets[s..e] {
+                        removed_counts[w as usize] += 1;
+                    }
+                }
+            };
+            match affine {
+                // Leaving vertices are the two contiguous complements of
+                // the retained range: scan exactly their rows.
+                Some((lo, hi, _)) => {
+                    scan(0..lo as usize, removed_counts);
+                    scan(hi as usize..prev_n, removed_counts);
+                }
+                None => scan(0..prev_n, removed_counts),
+            }
+        }
+
+        // Phase 6: final degrees → new offsets. Delta rows are disjoint
+        // from surviving old rows (an entering vertex cannot already be a
+        // neighbor), so the sum is exact — no slack, no dedup pass.
+        {
+            let QueryScratch { map_new_to_old, removed_counts, delta_offsets, counts, .. } =
+                scratch;
+            counts.clear();
+            for v in 0..new_n {
+                let delta = delta_offsets[v + 1] - delta_offsets[v];
+                let ov = renumber_new(map_new_to_old, affine, v as u32);
+                let deg = if ov != u32::MAX {
+                    let old_deg = self.offsets[ov as usize + 1] - self.offsets[ov as usize];
+                    old_deg - removed_counts[ov as usize] + delta
+                } else {
+                    delta
+                };
+                counts.push(deg);
+            }
+            let total = Self::prefix_sum_offsets(&mut cache.back_offsets, counts);
+            cache.back_targets.clear();
+            cache.back_targets.resize(total, 0);
+        }
+
+        // Phase 7: write each row. Untouched retained rows (no leaving
+        // neighbors, no delta — the vast majority under heavy overlap)
+        // are a pure renumber-copy: a vectorizable constant subtraction
+        // under an affine renumbering, a branch-free gather otherwise.
+        // Touched rows take the filter/merge path.
+        {
+            let QueryScratch {
+                map_new_to_old,
+                map_old_to_new,
+                delta_offsets,
+                delta_targets,
+                removed_counts,
+                ..
+            } = scratch;
+            // Forward slides renumber every entering vertex above every
+            // retained one, so a touched row is a concatenation — the
+            // sorted merge degenerates to filter-copy + append.
+            let delta_after_retained = match affine {
+                // Entering vertices all renumber above the retained block
+                // exactly when the block starts at new vertex 0.
+                Some((lo, _, shift)) => lo as i64 - shift == 0,
+                None => false,
+            };
+            let back_targets = &mut cache.back_targets;
+            let mut w = 0usize;
+            for v in 0..new_n {
+                debug_assert_eq!(w, cache.back_offsets[v] as usize);
+                let mut di = delta_offsets[v] as usize;
+                let dend = delta_offsets[v + 1] as usize;
+                let ov = renumber_new(map_new_to_old, affine, v as u32);
+                if ov == u32::MAX {
+                    // Entering vertex: its row is exactly its delta row.
+                    let len = dend - di;
+                    back_targets[w..w + len].copy_from_slice(&delta_targets[di..dend]);
+                    w += len;
+                    continue;
+                }
+                let s = self.offsets[ov as usize] as usize;
+                let e = self.offsets[ov as usize + 1] as usize;
+                let old_row = &self.targets[s..e];
+                if di == dend && removed_counts[ov as usize] == 0 {
+                    // Untouched row: every neighbor survives.
+                    let dst = &mut back_targets[w..w + old_row.len()];
+                    match affine {
+                        Some((_, _, shift)) => {
+                            // u32 wrapping keeps this a straight-line SIMD
+                            // subtraction (every in-range value is exact).
+                            let shift = shift as u32;
+                            for (d, &t) in dst.iter_mut().zip(old_row) {
+                                *d = t.wrapping_sub(shift);
+                            }
+                        }
+                        None => {
+                            for (d, &t) in dst.iter_mut().zip(old_row) {
+                                *d = map_old_to_new[t as usize];
+                            }
+                        }
+                    }
+                    w += old_row.len();
+                    continue;
+                }
+                if delta_after_retained {
+                    for &t in old_row {
+                        let nt = renumber_old(map_old_to_new, affine, t);
+                        if nt != u32::MAX {
+                            back_targets[w] = nt;
+                            w += 1;
+                        }
+                    }
+                } else {
+                    for &t in old_row {
+                        let nt = renumber_old(map_old_to_new, affine, t);
+                        if nt == u32::MAX {
+                            continue;
+                        }
+                        while di < dend && delta_targets[di] < nt {
+                            back_targets[w] = delta_targets[di];
+                            w += 1;
+                            di += 1;
+                        }
+                        back_targets[w] = nt;
+                        w += 1;
+                    }
+                }
+                while di < dend {
+                    back_targets[w] = delta_targets[di];
+                    w += 1;
+                    di += 1;
+                }
+            }
+            debug_assert_eq!(w, back_targets.len());
+        }
+
+        std::mem::swap(&mut self.offsets, &mut cache.back_offsets);
+        std::mem::swap(&mut self.targets, &mut cache.back_targets);
+        debug_assert_eq!(self.targets.len() % 2, 0, "undirected edges appear twice");
+        self.edge_count = self.targets.len() / 2;
+        units.graph_edge_inserts += self.edge_count as u64;
+        cache.publish_repair();
+        units
+    }
+
+    /// Rebuilds the reverse index for the repaired graph. The dense-table
+    /// mode rebuilds directly (linear, cheap); the sorted-pair mode —
+    /// selected for spread-out id ranges, where the plain rebuild sorts
+    /// every result id — is repaired instead: the previous sorted pairs
+    /// are filter-renumbered (their id order is untouched) and merged
+    /// with the entering ids, so only the entering ids are sorted.
+    fn repair_remap(
+        &mut self,
+        scratch: &mut QueryScratch,
+        cache: &mut GraphCache,
+        affine: AffineRemap,
+    ) {
+        let n = self.object_ids.len();
+        self.remap_dense.clear();
+        self.remap_base = 0;
+        if n == 0 {
+            self.remap_pairs.clear();
+            return;
+        }
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        for &o in &self.object_ids {
+            min = min.min(o.0);
+            max = max.max(o.0);
+        }
+        let range = (max - min) as usize + 1;
+        if range <= n.max(1024) * DENSE_REMAP_SLACK {
+            // Dense mode: the plain rebuild is already linear.
+            self.remap_pairs.clear();
+            self.remap_base = min;
+            self.remap_dense.resize(range, u32::MAX);
+            for (v, &o) in self.object_ids.iter().enumerate() {
+                debug_assert_eq!(
+                    self.remap_dense[(o.0 - min) as usize],
+                    u32::MAX,
+                    "result ids must be unique"
+                );
+                self.remap_dense[(o.0 - min) as usize] = v as u32;
+            }
+            return;
+        }
+        if self.remap_pairs.is_empty() {
+            // Mode transition (the previous index was dense): full rebuild.
+            self.remap_pairs
+                .extend(self.object_ids.iter().enumerate().map(|(v, &o)| (o, v as u32)));
+            self.remap_pairs.sort_unstable();
+            return;
+        }
+        // Sorted-pair repair: sort only the entering ids, then one merge.
+        let QueryScratch { edges, map_new_to_old, map_old_to_new, .. } = scratch;
+        edges.clear();
+        for v in 0..n {
+            if renumber_new(map_new_to_old, affine, v as u32) == u32::MAX {
+                edges.push((self.object_ids[v].0, v as u32));
+            }
+        }
+        edges.sort_unstable();
+        cache.back_remap_pairs.clear();
+        let mut j = 0usize;
+        for &(oid, ov) in &self.remap_pairs {
+            let nv = renumber_old(map_old_to_new, affine, ov);
+            if nv == u32::MAX {
+                continue;
+            }
+            while j < edges.len() && edges[j].0 < oid.0 {
+                cache.back_remap_pairs.push((ObjectId(edges[j].0), edges[j].1));
+                j += 1;
+            }
+            cache.back_remap_pairs.push((oid, nv));
+        }
+        while j < edges.len() {
+            cache.back_remap_pairs.push((ObjectId(edges[j].0), edges[j].1));
+            j += 1;
+        }
+        std::mem::swap(&mut self.remap_pairs, &mut cache.back_remap_pairs);
+        debug_assert!(
+            self.remap_pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "repaired reverse index must stay sorted and unique"
+        );
     }
 
     /// Rebuilds the reverse index from `object_ids`: a dense offset table

@@ -124,18 +124,28 @@ impl ScoutOpt {
         }
 
         // Rebuild in place over the inner prefetcher's recycled graph
-        // storage, exactly like the full-graph path.
+        // storage, exactly like the full-graph path — including the
+        // incremental entry point: consecutive sparse result sets along
+        // one structure overlap heavily too, so when the crawl yields
+        // them in a stable relative order the previous sparse graph is
+        // repaired instead of rebuilt (a crawl that reorders retained
+        // objects falls back automatically).
         let mut graph = std::mem::take(&mut self.inner.graph);
         let build_units = match ctx.adjacency {
             Some(adj) => graph.build_explicit(scratch, adj, &reached_objects),
-            None => graph.build_grid_hash(
-                scratch,
-                ctx.objects,
-                &reached_objects,
-                region,
-                self.inner.config().grid_resolution,
-                self.inner.config().simplification,
-            ),
+            None => {
+                graph
+                    .build_grid_hash_incremental(
+                        scratch,
+                        ctx.objects,
+                        &reached_objects,
+                        region,
+                        self.inner.config().grid_resolution,
+                        self.inner.config().simplification,
+                        self.inner.config().incremental_overlap_threshold,
+                    )
+                    .0
+            }
         };
         units.merge(&build_units);
         Some((graph, units))

@@ -86,6 +86,13 @@ impl Scout {
         self.tracker.resets()
     }
 
+    /// How the graph builds of this prefetcher were resolved (incremental
+    /// repair vs full rebuild, by fallback reason) — diagnostics for the
+    /// amortized-cost benches and regression guards.
+    pub fn graph_cache_stats(&self) -> crate::graph_cache::GraphCacheStats {
+        self.graph.cache_stats()
+    }
+
     fn update_motion(&mut self, region: &QueryRegion) {
         let c = region.center();
         if let Some(&prev) = self.centers.last() {
@@ -369,10 +376,6 @@ impl Scout {
 
         self.forward_filter(&mut exits);
         let candidates = candidate_set.len();
-        // §4.3 continuity anchor for the next query: the (forward) exit
-        // objects of this query's candidate structures.
-        let exit_objects: HashSet<scout_geometry::ObjectId> =
-            exits.iter().map(|e| graph.object_id(e.vertex)).collect();
 
         // Build the plan now (so its CPU is charged to this prediction).
         scratch.predictions.clear();
@@ -392,7 +395,14 @@ impl Scout {
         units.extra_us += kmeans_us;
         self.pending = plan;
 
-        self.tracker.commit(exit_objects, &scratch.predictions, was_reset);
+        // §4.3 continuity anchor for the next query: the (forward) exit
+        // objects of this query's candidate structures. Committed through
+        // the tracker's recycled set, so no per-query `HashSet` is built.
+        self.tracker.commit_ids(
+            exits.iter().map(|e| graph.object_id(e.vertex)),
+            &scratch.predictions,
+            was_reset,
+        );
 
         let memory_bytes = graph.memory_bytes()
             + scratch.components.len() * std::mem::size_of::<u32>()
@@ -421,19 +431,28 @@ impl Scout {
         scratch: &mut QueryScratch,
     ) -> PredictionStats {
         // §4.1/§4.2: use the explicit structure graph when the dataset has
-        // one, grid hashing otherwise. Rebuild in place over last query's
-        // storage — the graph-build phase allocates nothing once warmed.
+        // one, grid hashing otherwise. The grid path goes through the
+        // incremental entry point: heavy inter-query overlap under an
+        // unchanged lattice repairs the previous graph in place instead of
+        // rebuilding it (bit-identical output; DESIGN.md §7). Either way
+        // the storage is recycled, so a warmed session's graph-build phase
+        // allocates nothing.
         let mut graph = std::mem::take(&mut self.graph);
         let units = match ctx.adjacency {
             Some(adj) => graph.build_explicit(scratch, adj, &result.objects),
-            None => graph.build_grid_hash(
-                scratch,
-                ctx.objects,
-                &result.objects,
-                region,
-                self.config.grid_resolution,
-                self.config.simplification,
-            ),
+            None => {
+                graph
+                    .build_grid_hash_incremental(
+                        scratch,
+                        ctx.objects,
+                        &result.objects,
+                        region,
+                        self.config.grid_resolution,
+                        self.config.simplification,
+                        self.config.incremental_overlap_threshold,
+                    )
+                    .0
+            }
         };
         self.observe_with_graph(ctx, region, graph, units, scratch)
     }
@@ -481,8 +500,12 @@ impl Prefetcher for Scout {
         self.pending = PrefetchPlan::empty();
         self.last_locations = Vec::new();
         self.rng = SmallRng::seed_from_u64(self.config.seed);
-        // The graph, exit and scratch buffers are transient per-query
-        // state; they keep their warmed capacity across sequences.
+        // The incremental graph cache carries *cross-query* state, so a
+        // fresh sequence must start cold (§7.1 clears all caches between
+        // sequences); buffer capacity survives the invalidation. The
+        // graph, exit and scratch buffers are transient per-query state
+        // and keep their warmed capacity as well.
+        self.graph.invalidate_cache();
     }
 }
 

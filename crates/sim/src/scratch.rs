@@ -20,10 +20,13 @@ use scout_geometry::Vec3;
 
 /// Reusable flat buffers for one session's query hot path.
 ///
-/// Fields are public: the consumers (the CSR graph build in `scout-core`,
-/// exit detection, prediction staging) borrow individual buffers mutably
-/// and disjointly. Every consumer clears the buffers it uses on entry;
-/// contents never carry meaning across calls, only capacity does.
+/// Fields are public: the consumers (the CSR graph build and incremental
+/// repair in `scout-core`, exit detection, prediction staging) borrow
+/// individual buffers mutably and disjointly. Every consumer clears the
+/// buffers it uses on entry; contents never carry meaning across calls,
+/// only capacity does. (State that *does* persist across queries — the
+/// incremental graph cache — lives in `scout_core`'s `GraphCache`, owned
+/// by the graph it describes, not here.)
 #[derive(Debug, Clone, Default)]
 pub struct QueryScratch {
     /// `(cell, vertex)` pairs grid hashing sorts to find co-located
@@ -48,6 +51,20 @@ pub struct QueryScratch {
     /// Predicted next-query locations staged before they are committed to
     /// the candidate tracker.
     pub predictions: Vec<Vec3>,
+    /// Incremental graph repair: previous vertex of each new vertex
+    /// (`u32::MAX` = entering the region).
+    pub map_new_to_old: Vec<u32>,
+    /// Incremental graph repair: new vertex of each previous vertex
+    /// (`u32::MAX` = leaving the region).
+    pub map_old_to_new: Vec<u32>,
+    /// Incremental graph repair: incidences each previous vertex loses to
+    /// leaving neighbors.
+    pub removed_counts: Vec<u32>,
+    /// Incremental graph repair: offsets of the per-vertex delta rows
+    /// (entering neighbors gained).
+    pub delta_offsets: Vec<u32>,
+    /// Incremental graph repair: concatenated sorted delta rows.
+    pub delta_targets: Vec<u32>,
 }
 
 impl QueryScratch {
@@ -68,6 +85,11 @@ impl QueryScratch {
         self.centroid_sums.clear();
         self.centroid_counts.clear();
         self.predictions.clear();
+        self.map_new_to_old.clear();
+        self.map_old_to_new.clear();
+        self.removed_counts.clear();
+        self.delta_offsets.clear();
+        self.delta_targets.clear();
     }
 
     /// Total bytes of reserved capacity across all buffers (diagnostics;
@@ -82,6 +104,11 @@ impl QueryScratch {
             + self.centroid_sums.capacity() * std::mem::size_of::<Vec3>()
             + self.centroid_counts.capacity() * std::mem::size_of::<u32>()
             + self.predictions.capacity() * std::mem::size_of::<Vec3>()
+            + self.map_new_to_old.capacity() * std::mem::size_of::<u32>()
+            + self.map_old_to_new.capacity() * std::mem::size_of::<u32>()
+            + self.removed_counts.capacity() * std::mem::size_of::<u32>()
+            + self.delta_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.delta_targets.capacity() * std::mem::size_of::<u32>()
     }
 }
 

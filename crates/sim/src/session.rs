@@ -77,6 +77,14 @@ impl Session {
     /// Rewinds the session to a cold start: prefetcher history cleared,
     /// cursor at the first query, fresh trace, and a disk built from
     /// `config` (sharing `clock` with sibling sessions when given).
+    ///
+    /// "History" includes cross-query *derived* state, not just
+    /// prediction inputs: the prefetcher's `reset` must invalidate any
+    /// incremental caches it keeps (SCOUT's graph repairs itself across
+    /// queries, DESIGN.md §7), so a restarted sequence begins with a cold
+    /// full build exactly like the seed executor did. Buffer capacity —
+    /// the scratch arena and the prefetcher's recycled buffers — survives
+    /// across `begin` calls by design.
     pub fn begin(&mut self, config: &ExecutorConfig, clock: Option<SharedClock>) {
         config.assert_valid();
         self.disk = match clock {

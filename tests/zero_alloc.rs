@@ -1,10 +1,15 @@
-//! Steady-state allocation accounting for the query hot path (ISSUE 3).
+//! Steady-state allocation accounting for the query hot path (ISSUE 3 +
+//! ISSUE 4).
 //!
 //! The graph-build phase of `Session::step` — `ResultGraph::build_grid_hash`
 //! / `build_explicit` plus `components_into` against the session's
 //! [`QueryScratch`] arena — must perform **zero** heap allocations once the
-//! buffers have warmed to the workload. A counting global allocator wraps
-//! the system allocator; after a warmup tour over every query of the
+//! buffers have warmed to the workload. The same holds for the
+//! *incremental* build path (ISSUE 4): steady-state delta repairs over
+//! sliding result windows, for both SCOUT-style full result sets and
+//! SCOUT-OPT-style sparse reached subsets, including the overlap-fallback
+//! full-rebuild-with-capture case. A counting global allocator wraps the
+//! system allocator; after a warmup tour over every query of the
 //! sequence, re-running the builds must leave the counter untouched.
 //!
 //! This binary holds exactly one `#[test]` on purpose: the counter is
@@ -119,5 +124,89 @@ fn steady_state_graph_build_allocates_nothing() {
         0,
         "graph-build phase allocated {} times in steady state",
         after - before
+    );
+
+    // --- Incremental maintenance (ISSUE 4) ---------------------------------
+    //
+    // Sliding result windows under one fixed lattice: the region stays
+    // put (a fixed analysis viewport), the result membership slides along
+    // the tissue. SCOUT's path uses the full windows; SCOUT-OPT's sparse
+    // construction is modeled by every-other-object subsets of the same
+    // windows (a thinner reached set in the same stable relative order).
+    let all_ids: Vec<scout::geometry::ObjectId> = objects.iter().map(|o| o.id).collect();
+    let n = all_ids.len();
+    let w = n / 2;
+    let advance = (w / 8).max(1);
+    let full_windows: Vec<&[scout::geometry::ObjectId]> =
+        (0..8).map(|k| &all_ids[k * advance..k * advance + w]).collect();
+    let sparse_windows: Vec<Vec<scout::geometry::ObjectId>> = full_windows
+        .iter()
+        .map(|win| win.iter().copied().filter(|o| o.0 % 2 == 0).collect())
+        .collect();
+    let viewport = QueryRegion::from_aabb(dataset.bounds);
+
+    let mut scout_graph = ResultGraph::default();
+    let mut opt_graph = ResultGraph::default();
+    let tour =
+        |scout_graph: &mut ResultGraph, opt_graph: &mut ResultGraph, scratch: &mut QueryScratch| {
+            for (win, sparse) in full_windows.iter().zip(&sparse_windows) {
+                scout_graph.build_grid_hash_incremental(
+                    scratch,
+                    objects,
+                    win,
+                    &viewport,
+                    resolution,
+                    simplification,
+                    0.5,
+                );
+                let c = scout_graph.components_into(&mut scratch.components, &mut scratch.stack);
+                std::hint::black_box(c);
+                opt_graph.build_grid_hash_incremental(
+                    scratch,
+                    objects,
+                    sparse,
+                    &viewport,
+                    resolution,
+                    simplification,
+                    0.5,
+                );
+                let c = opt_graph.components_into(&mut scratch.components, &mut scratch.stack);
+                std::hint::black_box(c);
+            }
+        };
+
+    // Warmup tours: grow the graph buffers, the persistent caches and the
+    // delta scratch to the workload's high-water capacity. Two tours, not
+    // one: the cache's repair double buffers swap roles every query, and
+    // window sizes vary, so each of the two buffers behind `runs`/`cells`
+    // must see the largest window at least once.
+    for _ in 0..2 {
+        tour(&mut scout_graph, &mut opt_graph, &mut scratch);
+    }
+
+    // Steady state: repeated tours — repairs within a tour, plus the
+    // low-overlap fallback (full rebuild + cache capture) when a tour
+    // wraps from the last window back to the first — allocate nothing.
+    let before = allocations();
+    for _ in 0..3 {
+        tour(&mut scout_graph, &mut opt_graph, &mut scratch);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "incremental graph maintenance allocated {} times in steady state",
+        after - before
+    );
+    // And the steady-state tours actually exercised the repair path.
+    assert!(
+        scout_graph.cache_stats().incremental_builds >= 3 * (full_windows.len() as u64 - 1),
+        "SCOUT windows unexpectedly fell back: {:?}",
+        scout_graph.cache_stats()
+    );
+    assert!(
+        opt_graph.cache_stats().incremental_builds >= 3 * (full_windows.len() as u64 - 1),
+        "sparse windows unexpectedly fell back: {:?}",
+        opt_graph.cache_stats()
     );
 }
