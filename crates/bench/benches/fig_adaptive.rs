@@ -1,0 +1,35 @@
+//! Adaptive prediction — SCOUT vs Markov vs Hybrid across the
+//! history-sensitivity workloads (no counterpart figure in the paper,
+//! which studies a single structure-following client).
+//!
+//! This bench target runs the sweep at a reduced scale as the compile +
+//! smoke check; the `adaptive` bin produces the full `BENCH_adaptive.json`
+//! artifact CI uploads and guards.
+
+use scout_bench::adaptive::{self, HYBRID_NAME, REVISIT_WORKLOAD, SCOUT_NAME};
+use scout_bench::seed;
+use scout_sim::report::{pct, Table};
+
+fn main() {
+    println!("== Adaptive prediction: structure vs history vs hybrid (reduced scale) ==\n");
+    let report = adaptive::run(0.4, seed());
+    for d in &report.datasets {
+        let mut t = Table::new(["workload", "method", "hit %", "pages hit"]);
+        for w in &d.workloads {
+            for m in &w.methods {
+                t.row([
+                    w.workload.to_string(),
+                    m.name.clone(),
+                    pct(m.hit_rate()),
+                    m.pages_hit.to_string(),
+                ]);
+            }
+        }
+        println!("-- {} --\n{}", d.name, t.render());
+    }
+    println!("revisit regressions: {}", report.revisit_regressions());
+    println!(
+        "(expected: Hybrid >= SCOUT pages-hit on {REVISIT_WORKLOAD}; {HYBRID_NAME} within \
+         noise of {SCOUT_NAME} on the follow workload)"
+    );
+}

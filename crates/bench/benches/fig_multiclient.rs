@@ -64,7 +64,7 @@ fn main() {
     let pages: u64 = solos.iter().map(MultiSessionReport::total_pages).sum();
     sharing.row([
         format!("{CLIENTS} private caches ({} pages each)", private_exec.cache_pages),
-        pct(hits as f64 / pages.max(1) as f64),
+        pct(scout_storage::hit_ratio(hits, pages)),
         format!("{:.2}", solos.iter().map(|r| r.total_response_us()).sum::<f64>() / 1e6),
         solos.iter().map(|r| r.cache.evictions).sum::<u64>().to_string(),
     ]);

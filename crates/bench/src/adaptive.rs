@@ -1,0 +1,280 @@
+//! The adaptive-prediction sweep: SCOUT vs Markov vs Hybrid across
+//! datasets and history-sensitive workloads.
+//!
+//! Four workloads per dataset, built from `scout_sim::workloads`:
+//!
+//! * `follow` — a plain guided walk (the paper's regime): structure
+//!   following should win, history has nothing to replay. The hybrid must
+//!   stay within noise of plain SCOUT here.
+//! * `revisit_loop` — one tour walked over and over: every lap boundary is
+//!   a teleport no structural prediction can see. The CI guard lives on
+//!   this workload: the hybrid's pages-hit must be ≥ plain SCOUT's on
+//!   every dataset (`revisit_regressions` must stay 0).
+//! * `teleport` — the user bounces between a few hotspots.
+//! * `branchy` — repeated returns to one branch point, arms walked in a
+//!   periodic order the structure cannot predict but history can.
+//!
+//! All measurements are simulated quantities (cache hits, simulated
+//! response time), so the recorded numbers are host-independent and the
+//! guard is deterministic. The `adaptive` **bin** writes
+//! `BENCH_adaptive.json` (uploaded by CI, guard-checked); the
+//! `fig_adaptive` **bench target** runs a reduced scale as the compile +
+//! smoke check.
+
+use scout_index::SpatialIndex;
+use scout_sim::workloads::{branchy_exploration, revisit_loop, teleport_hotspots};
+use scout_sim::{run_sequence, ExecutorConfig, TestBed};
+use scout_synth::{
+    generate_lung, generate_neurons, generate_roads, generate_sequences, Dataset, LungParams,
+    NeuronParams, RoadParams, SequenceParams,
+};
+
+/// One prefetcher's numbers on one workload.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Prefetcher display name.
+    pub name: String,
+    /// Result pages requested across the stream.
+    pub pages_total: u64,
+    /// Result pages served from the prefetch cache.
+    pub pages_hit: u64,
+    /// Total simulated response time, µs.
+    pub response_us: f64,
+    /// Pages prefetched from disk.
+    pub prefetch_pages: u64,
+}
+
+impl MethodRow {
+    /// Cache-hit rate over result pages.
+    pub fn hit_rate(&self) -> f64 {
+        scout_storage::hit_ratio(self.pages_hit, self.pages_total)
+    }
+}
+
+/// One workload's comparison on one dataset.
+#[derive(Debug, Clone)]
+pub struct WorkloadRows {
+    /// Workload name (JSON key).
+    pub workload: &'static str,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// One row per prefetcher, roster order.
+    pub methods: Vec<MethodRow>,
+}
+
+impl WorkloadRows {
+    /// The row of one method by (exact) display name.
+    pub fn method(&self, name: &str) -> Option<&MethodRow> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// All workloads of one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetAdaptive {
+    /// Dataset name (JSON key).
+    pub name: &'static str,
+    /// Dataset object count.
+    pub objects: usize,
+    /// Pages in the R-tree layout.
+    pub pages: usize,
+    /// One entry per workload.
+    pub workloads: Vec<WorkloadRows>,
+}
+
+/// A full adaptive-prediction sweep.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Scale factor the sweep ran at.
+    pub scale: f64,
+    /// Prefetch-window ratio used.
+    pub window_ratio: f64,
+    /// Prefetch-cache capacity in pages.
+    pub cache_pages: usize,
+    /// One entry per dataset.
+    pub datasets: Vec<DatasetAdaptive>,
+}
+
+/// Display name of the plain SCOUT row.
+pub const SCOUT_NAME: &str = "SCOUT";
+/// Display name of the hybrid row.
+pub const HYBRID_NAME: &str = "Hybrid (SCOUT+Markov)";
+/// JSON key of the guarded workload.
+pub const REVISIT_WORKLOAD: &str = "revisit_loop";
+
+impl AdaptiveReport {
+    /// Number of datasets where the hybrid's pages-hit fell below plain
+    /// SCOUT's on the revisit-loop workload — the CI guard value, which
+    /// must stay 0.
+    pub fn revisit_regressions(&self) -> u64 {
+        self.datasets
+            .iter()
+            .filter(|d| {
+                let Some(w) = d.workloads.iter().find(|w| w.workload == REVISIT_WORKLOAD) else {
+                    return true; // a missing workload is a regression too
+                };
+                match (w.method(HYBRID_NAME), w.method(SCOUT_NAME)) {
+                    (Some(h), Some(s)) => h.pages_hit < s.pages_hit,
+                    _ => true,
+                }
+            })
+            .count() as u64
+    }
+
+    /// Serializes the report as pretty-printed JSON (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{ \"scale\": {:.2}, \"window_ratio\": {:.2}, \"cache_pages\": {} }},\n",
+            self.scale, self.window_ratio, self.cache_pages
+        ));
+        out.push_str("  \"datasets\": {\n");
+        for (i, d) in self.datasets.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\n      \"objects\": {}, \"pages\": {},\n      \"workloads\": {{\n",
+                d.name, d.objects, d.pages
+            ));
+            for (j, w) in d.workloads.iter().enumerate() {
+                out.push_str(&format!(
+                    "        \"{}\": {{ \"queries\": {}, \"methods\": {{\n",
+                    w.workload, w.queries
+                ));
+                for (k, m) in w.methods.iter().enumerate() {
+                    let comma = if k + 1 < w.methods.len() { "," } else { "" };
+                    out.push_str(&format!(
+                        "          \"{}\": {{ \"pages_total\": {}, \"pages_hit\": {}, \
+                         \"hit_rate\": {:.4}, \"response_ms\": {:.3}, \
+                         \"prefetch_pages\": {} }}{}\n",
+                        m.name,
+                        m.pages_total,
+                        m.pages_hit,
+                        m.hit_rate(),
+                        m.response_us / 1_000.0,
+                        m.prefetch_pages,
+                        comma
+                    ));
+                }
+                let comma = if j + 1 < d.workloads.len() { "," } else { "" };
+                out.push_str(&format!("        }} }}{comma}\n"));
+            }
+            let comma = if i + 1 < self.datasets.len() { "," } else { "" };
+            out.push_str(&format!("      }}\n    }}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"guard\": {{ \"revisit_regressions\": {} }}\n",
+            self.revisit_regressions()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Query volume containing ≈ `objects_per_query` objects on this dataset
+/// (the fig17 sizing rule — densities differ per generator).
+fn query_volume(dataset: &Dataset, objects_per_query: f64) -> f64 {
+    objects_per_query / dataset.density()
+}
+
+fn run_workload(
+    bed: &TestBed,
+    workload: &'static str,
+    regions: &[scout_geometry::QueryRegion],
+    exec: &ExecutorConfig,
+) -> WorkloadRows {
+    let ctx = bed.ctx_rtree();
+    // Fresh roster instances per workload (run_sequence resets them
+    // anyway; fresh boxes keep the roster order explicit).
+    let methods = crate::adaptive_roster()
+        .into_iter()
+        .map(|mut p| {
+            let trace = run_sequence(&ctx, p.as_mut(), regions, exec);
+            MethodRow {
+                name: p.name(),
+                pages_total: trace.io.result_pages_total(),
+                pages_hit: trace.io.result_pages_cache,
+                response_us: trace.total_response_us(),
+                prefetch_pages: trace.io.prefetch_pages_disk,
+            }
+        })
+        .collect();
+    WorkloadRows { workload, queries: regions.len(), methods }
+}
+
+fn dataset_report(
+    name: &'static str,
+    dataset: Dataset,
+    scale: f64,
+    exec: &ExecutorConfig,
+    seed: u64,
+) -> DatasetAdaptive {
+    let bed = TestBed::with_page_capacity(dataset, 32);
+    let volume = query_volume(&bed.dataset, 250.0);
+    let params = SequenceParams { volume, ..SequenceParams::sensitivity_default() };
+    let n = |x: f64| ((x * scale.max(0.2)).round() as usize).max(2);
+
+    let follow_len = n(24.0);
+    let follow = generate_sequences(
+        &bed.dataset,
+        &SequenceParams { length: follow_len, ..params },
+        1,
+        seed ^ 0xF0,
+    )
+    .remove(0)
+    .regions;
+    let revisit = revisit_loop(&bed.dataset, &params, n(8.0), 4, seed ^ 0xAA);
+    let teleport = teleport_hotspots(&bed.dataset, &params, 3, n(4.0), n(8.0), seed ^ 0x7E);
+    let branchy = branchy_exploration(&bed.dataset, &params, 2, n(4.0), 3, seed ^ 0xB2);
+
+    let workloads = vec![
+        run_workload(&bed, "follow", &follow, exec),
+        run_workload(&bed, REVISIT_WORKLOAD, &revisit, exec),
+        run_workload(&bed, "teleport", &teleport, exec),
+        run_workload(&bed, "branchy", &branchy, exec),
+    ];
+    DatasetAdaptive {
+        name,
+        objects: bed.dataset.objects.len(),
+        pages: bed.rtree.layout().page_count(),
+        workloads,
+    }
+}
+
+/// Runs the full sweep at `scale` (1.0 = the CI artifact size; the bench
+/// smoke target uses a fraction). Deterministic in `seed`.
+pub fn run(scale: f64, seed: u64) -> AdaptiveReport {
+    let exec = ExecutorConfig {
+        window_ratio: 1.6,
+        // Modest capacity on purpose: a cache that holds every lap of a
+        // revisit loop would make later laps free for any prefetcher;
+        // pressure is what makes per-lap prediction quality visible.
+        cache_pages: 192,
+        ..ExecutorConfig::default()
+    };
+    let neuron_objects = ((25_000.0 * scale) as usize).max(2_000);
+    let neuron = generate_neurons(&NeuronParams::with_target_objects(neuron_objects), seed);
+    let lung_params = if scale < 0.5 {
+        LungParams { generations: 6, ..Default::default() }
+    } else {
+        LungParams::default()
+    };
+    let lung = generate_lung(&lung_params, seed ^ 0x11);
+    let road_params = if scale < 0.5 {
+        RoadParams { grid_n: 24, ..Default::default() }
+    } else {
+        RoadParams::default()
+    };
+    let roads = generate_roads(&road_params, seed ^ 0x30);
+
+    AdaptiveReport {
+        scale,
+        window_ratio: exec.window_ratio,
+        cache_pages: exec.cache_pages,
+        datasets: vec![
+            dataset_report("neuron", neuron, scale, &exec, seed),
+            dataset_report("lung", lung, scale, &exec, seed),
+            dataset_report("roads", roads, scale, &exec, seed),
+        ],
+    }
+}

@@ -1,0 +1,43 @@
+//! Emits the adaptive-prediction perf artifact.
+//!
+//! Runs the SCOUT vs Markov vs Hybrid sweep ([`scout_bench::adaptive`])
+//! across the three synthetic datasets and the four history-sensitivity
+//! workloads, prints the comparison tables, and writes
+//! `BENCH_adaptive.json` into the current directory (run from the repo
+//! root; CI uploads the file and fails the job when the `guard` block
+//! reports `revisit_regressions != 0` — the hybrid must never hit fewer
+//! pages than plain SCOUT on a revisit loop).
+//!
+//! Run with: `cargo run -p scout-bench --bin adaptive --release`
+
+use scout_sim::report::{pct, Table};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 =
+        std::env::var("SCOUT_ADAPTIVE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let t0 = Instant::now();
+    let report = scout_bench::adaptive::run(scale, scout_bench::seed());
+    let json = report.to_json();
+
+    for d in &report.datasets {
+        println!("== {} ({} objects, {} pages) ==", d.name, d.objects, d.pages);
+        let mut t = Table::new(["workload", "method", "hit %", "pages hit", "response ms"]);
+        for w in &d.workloads {
+            for m in &w.methods {
+                t.row([
+                    w.workload.to_string(),
+                    m.name.clone(),
+                    pct(m.hit_rate()),
+                    m.pages_hit.to_string(),
+                    format!("{:.1}", m.response_us / 1_000.0),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+    }
+    println!("revisit regressions (hybrid < SCOUT): {}", report.revisit_regressions());
+    eprintln!("adaptive sweep in {:.1?}", t0.elapsed());
+    std::fs::write("BENCH_adaptive.json", json).expect("write BENCH_adaptive.json");
+    eprintln!("wrote BENCH_adaptive.json");
+}

@@ -9,10 +9,12 @@
 //! to shrink/grow datasets and sequence counts, and `SCOUT_BENCH_SEED`
 //! (u64, default 42) for reproducible randomness.
 
+pub mod adaptive;
 pub mod hotpath;
 
-use scout_baselines::{Ewma, HilbertPrefetch, Polynomial, StraightLine};
+use scout_baselines::{Ewma, HilbertPrefetch, MarkovPrefetcher, Polynomial, StraightLine};
 use scout_core::{Scout, ScoutOpt};
+use scout_predict::HybridPrefetcher;
 use scout_sim::{
     evaluate, region_lists, AggregateMetrics, ExecutorConfig, NoPrefetch, Prefetcher, TestBed,
 };
@@ -95,6 +97,17 @@ pub fn figure11_roster() -> Vec<Box<dyn Prefetcher>> {
         Box::new(StraightLine::new()),
         Box::new(HilbertPrefetch::default()),
         Box::new(Scout::with_defaults()),
+    ]
+}
+
+/// The adaptive-prediction roster (ISSUE 5): the no-prefetching floor,
+/// plain SCOUT, the pure history baseline, and the hybrid.
+pub fn adaptive_roster() -> Vec<Box<dyn Prefetcher>> {
+    vec![
+        Box::new(NoPrefetch),
+        Box::new(Scout::with_defaults()),
+        Box::new(MarkovPrefetcher::with_defaults()),
+        Box::new(HybridPrefetcher::with_defaults()),
     ]
 }
 

@@ -86,3 +86,39 @@ fn smoke_gaps_pipeline_invariants() {
     let plain = &results[0];
     assert_eq!(plain.gap_pages, 0, "plain SCOUT cannot traverse gaps");
 }
+
+#[test]
+fn adaptive_sweep_guard_holds_at_reduced_scale() {
+    // The CI guard on BENCH_adaptive.json, as a tier-1 assertion: the
+    // hybrid must never hit fewer pages than plain SCOUT on the
+    // revisit-loop workload (all quantities are simulated, so this is
+    // deterministic, not a flaky perf check). Scale 0.4 matches the
+    // fig_adaptive bench target.
+    let report = scout_bench::adaptive::run(0.4, 42);
+    assert_eq!(report.datasets.len(), 3);
+    assert_eq!(
+        report.revisit_regressions(),
+        0,
+        "hybrid fell below plain SCOUT on a revisit loop:\n{}",
+        report.to_json()
+    );
+    for d in &report.datasets {
+        assert_eq!(d.workloads.len(), 4, "{}: missing workloads", d.name);
+        for w in &d.workloads {
+            for m in &w.methods {
+                assert!(
+                    (0.0..=1.0).contains(&m.hit_rate()),
+                    "{} / {} / {}: hit rate {} outside [0, 1]",
+                    d.name,
+                    w.workload,
+                    m.name,
+                    m.hit_rate()
+                );
+            }
+            let np = w.method("No Prefetching").expect("roster has the floor");
+            assert_eq!(np.pages_hit, 0, "NoPrefetch cannot hit");
+        }
+    }
+    // The JSON artifact carries the guard block CI greps for.
+    assert!(report.to_json().contains("\"revisit_regressions\": 0"));
+}

@@ -106,6 +106,18 @@ impl GraphCacheStats {
         self.incremental_builds + self.full_builds()
     }
 
+    /// The counters as the dependency-neutral sim-side report type (the
+    /// multi-session report surfaces these per session).
+    pub fn to_counters(&self) -> scout_sim::GraphBuildCounters {
+        scout_sim::GraphBuildCounters {
+            incremental: self.incremental_builds,
+            full_cold: self.full_cold,
+            full_grid_changed: self.full_grid_changed,
+            full_low_overlap: self.full_low_overlap,
+            full_reordered: self.full_reordered,
+        }
+    }
+
     pub(crate) fn record_full(&mut self, reason: FullBuildReason) {
         match reason {
             FullBuildReason::Cold => self.full_cold += 1,

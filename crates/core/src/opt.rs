@@ -357,6 +357,10 @@ impl Prefetcher for ScoutOpt {
         self.inner.plan(ctx)
     }
 
+    fn graph_cache_counters(&self) -> Option<scout_sim::GraphBuildCounters> {
+        Prefetcher::graph_cache_counters(&self.inner)
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }

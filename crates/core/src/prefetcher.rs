@@ -492,6 +492,10 @@ impl Prefetcher for Scout {
         std::mem::take(&mut self.pending)
     }
 
+    fn graph_cache_counters(&self) -> Option<scout_sim::GraphBuildCounters> {
+        Some(self.graph.cache_stats().to_counters())
+    }
+
     fn reset(&mut self) {
         self.tracker.clear();
         self.centers.clear();

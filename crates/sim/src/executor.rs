@@ -101,11 +101,7 @@ pub struct QueryTrace {
 impl QueryTrace {
     /// Cache-hit rate of this query.
     pub fn hit_rate(&self) -> f64 {
-        if self.pages_total == 0 {
-            0.0
-        } else {
-            self.pages_hit as f64 / self.pages_total as f64
-        }
+        scout_storage::hit_ratio(self.pages_hit as u64, self.pages_total as u64)
     }
 }
 

@@ -25,7 +25,9 @@ pub use experiment::{aggregate, evaluate, region_lists, run_parallel, AggregateM
 pub use multi::{
     MultiSessionConfig, MultiSessionExecutor, MultiSessionReport, Schedule, SessionReport,
 };
-pub use prefetcher::{NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher};
+pub use prefetcher::{
+    GraphBuildCounters, NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher,
+};
 pub use report::{percentiles, LatencyPercentiles};
 pub use scratch::QueryScratch;
 pub use session::Session;

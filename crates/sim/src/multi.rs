@@ -20,9 +20,10 @@
 
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
-use crate::report::{pct, percentiles, LatencyPercentiles, Table};
+use crate::prefetcher::GraphBuildCounters;
+use crate::report::{graph_cache_summary, pct, percentiles, LatencyPercentiles, Table};
 use crate::session::Session;
-use scout_storage::{CacheStats, ShardedCache, SharedClock};
+use scout_storage::{hit_ratio, CacheStats, ShardedCache, SharedClock};
 use std::sync::Barrier;
 
 /// How the engine schedules its sessions.
@@ -155,16 +156,16 @@ pub struct SessionReport {
     pub residual: LatencyPercentiles,
     /// Total user-visible response time, µs.
     pub response_us: f64,
+    /// This session's cross-query graph-build counters (incremental repair
+    /// vs full rebuild), when its prefetcher keeps an incremental graph
+    /// cache; `None` for history-only baselines.
+    pub graph_cache: Option<GraphBuildCounters>,
 }
 
 impl SessionReport {
     /// This session's cache-hit rate over result pages.
     pub fn hit_rate(&self) -> f64 {
-        if self.pages_total == 0 {
-            0.0
-        } else {
-            self.pages_hit as f64 / self.pages_total as f64
-        }
+        hit_ratio(self.pages_hit, self.pages_total)
     }
 }
 
@@ -193,6 +194,7 @@ impl MultiSessionReport {
         let mut reports: Vec<SessionReport> = sessions
             .into_iter()
             .map(|session| {
+                let graph_cache = session.graph_cache_counters();
                 let (id, trace) = session.into_trace();
                 let residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
                 all_residuals.extend_from_slice(&residuals);
@@ -203,6 +205,7 @@ impl MultiSessionReport {
                     pages_hit: trace.io.result_pages_cache,
                     residual: percentiles(&residuals),
                     response_us: trace.total_response_us(),
+                    graph_cache,
                 }
             })
             .collect();
@@ -227,12 +230,19 @@ impl MultiSessionReport {
 
     /// Shared-cache hit rate over all sessions' result pages.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.total_pages();
-        if total == 0 {
-            0.0
-        } else {
-            self.total_pages_hit() as f64 / total as f64
+        hit_ratio(self.total_pages_hit(), self.total_pages())
+    }
+
+    /// Fleet-wide graph-build counters: the merge of every session that
+    /// reported some (`None` when no session keeps an incremental cache).
+    pub fn graph_cache_total(&self) -> Option<GraphBuildCounters> {
+        let mut total: Option<GraphBuildCounters> = None;
+        for s in &self.sessions {
+            if let Some(c) = &s.graph_cache {
+                total.get_or_insert_with(GraphBuildCounters::default).merge(c);
+            }
         }
+        total
     }
 
     /// Total user-visible response time across sessions, µs.
@@ -267,18 +277,29 @@ impl MultiSessionReport {
             ms(self.residual.p95),
             ms(self.residual.p99),
         ]);
-        format!(
+        let mut out = format!(
             "{}\nshared cache: {} hits / {} accesses ({} %), {} of {} pages used, {} evictions\n\
              disk busy: {:.1} simulated ms\n",
             t.render(),
             self.cache.hits,
             self.cache.accesses(),
-            pct(self.cache.hit_rate()),
+            pct(self.cache.hit_ratio()),
             self.cache.len,
             self.cache.capacity,
             self.cache.evictions,
             self.disk_busy_us / 1_000.0,
-        )
+        );
+        // Incremental graph-cache behavior (PR 4), per session and
+        // aggregate — only when at least one prefetcher keeps the cache.
+        if let Some(total) = self.graph_cache_total() {
+            for s in &self.sessions {
+                if let Some(c) = &s.graph_cache {
+                    out.push_str(&format!("graph builds #{}: {}\n", s.id, graph_cache_summary(c)));
+                }
+            }
+            out.push_str(&format!("graph builds all: {}\n", graph_cache_summary(&total)));
+        }
+        out
     }
 }
 

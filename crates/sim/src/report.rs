@@ -1,5 +1,7 @@
 //! Paper-style text tables for the bench harnesses.
 
+use crate::prefetcher::GraphBuildCounters;
+
 /// A simple fixed-width table printer.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -111,6 +113,23 @@ pub fn percentiles(samples: &[f64]) -> LatencyPercentiles {
         sorted[rank.clamp(1, sorted.len()) - 1]
     };
     LatencyPercentiles { p50: at(50.0), p95: at(95.0), p99: at(99.0) }
+}
+
+/// One-line summary of cross-query graph-build counters: incremental
+/// share plus the full-rebuild breakdown by fallback reason. Used for both
+/// the per-session and the aggregate cache-behavior rows of the
+/// multi-session report.
+pub fn graph_cache_summary(c: &GraphBuildCounters) -> String {
+    format!(
+        "{} inc / {} full ({} % inc; cold {}, grid {}, overlap {}, reorder {})",
+        c.incremental,
+        c.full(),
+        pct(c.incremental_ratio()),
+        c.full_cold,
+        c.full_grid_changed,
+        c.full_low_overlap,
+        c.full_reordered,
+    )
 }
 
 /// Formats a fraction as a percentage with one decimal.

@@ -65,6 +65,14 @@ pub struct QueryScratch {
     pub delta_offsets: Vec<u32>,
     /// Incremental graph repair: concatenated sorted delta rows.
     pub delta_targets: Vec<u32>,
+    /// Sorted copy of the current query's result pages (membership probes
+    /// for the adaptive layer's per-source precision accounting).
+    pub pages_sorted: Vec<u32>,
+    /// Best-first frontier of the Markov top-k extraction:
+    /// `(score, prev page, last page)` context entries.
+    pub markov_frontier: Vec<(f64, u32, u32)>,
+    /// Sorted pages already emitted during one Markov extraction (dedup).
+    pub markov_emitted: Vec<u32>,
 }
 
 impl QueryScratch {
@@ -90,6 +98,9 @@ impl QueryScratch {
         self.removed_counts.clear();
         self.delta_offsets.clear();
         self.delta_targets.clear();
+        self.pages_sorted.clear();
+        self.markov_frontier.clear();
+        self.markov_emitted.clear();
     }
 
     /// Total bytes of reserved capacity across all buffers (diagnostics;
@@ -109,6 +120,9 @@ impl QueryScratch {
             + self.removed_counts.capacity() * std::mem::size_of::<u32>()
             + self.delta_offsets.capacity() * std::mem::size_of::<u32>()
             + self.delta_targets.capacity() * std::mem::size_of::<u32>()
+            + self.pages_sorted.capacity() * std::mem::size_of::<u32>()
+            + self.markov_frontier.capacity() * std::mem::size_of::<(f64, u32, u32)>()
+            + self.markov_emitted.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -173,6 +173,15 @@ impl Session {
         &self.disk
     }
 
+    /// This session's prefetcher graph-build counters (incremental repair
+    /// vs full rebuild), when the prefetcher keeps an incremental graph
+    /// cache. Surfaced per session in
+    /// [`MultiSessionReport`](crate::MultiSessionReport) so cache behavior
+    /// is visible in multi-session runs, not only in the hotpath bench.
+    pub fn graph_cache_counters(&self) -> Option<crate::prefetcher::GraphBuildCounters> {
+        self.prefetcher.graph_cache_counters()
+    }
+
     /// Consumes the session, yielding its id and trace.
     pub fn into_trace(self) -> (usize, SequenceTrace) {
         (self.id, self.trace)

@@ -21,4 +21,4 @@ pub use disk::{DiskModel, DiskProfile, SharedClock, SimClock};
 pub use page::{Page, PageId, PageLayout};
 pub use page_cache::{CacheStats, PageCache};
 pub use sharded::ShardedCache;
-pub use stats::IoStats;
+pub use stats::{hit_ratio, IoStats};

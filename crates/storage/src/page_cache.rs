@@ -43,12 +43,7 @@ impl CacheStats {
 
     /// Fraction of accesses served from the cache; 0 when none happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.accesses();
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        crate::stats::hit_ratio(self.hits, self.accesses())
     }
 
     /// Fraction of the capacity in use.

@@ -1,5 +1,28 @@
 //! I/O accounting shared by the executor and the prefetchers.
 
+use crate::page_cache::CacheStats;
+
+/// Safe `hits / total` ratio, guarding the zero-lookup case (returns 0
+/// when `total` is 0). Every report that derives a hit rate — I/O stats,
+/// cache snapshots, per-query and per-session traces — goes through this
+/// helper instead of hand-computing `hits / (hits + misses)`.
+pub fn hit_ratio(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl CacheStats {
+    /// Fraction of accesses served from the cache, 0 when none were
+    /// recorded. Alias of [`CacheStats::hit_rate`] expressed through the
+    /// shared [`hit_ratio`] helper.
+    pub fn hit_ratio(&self) -> f64 {
+        hit_ratio(self.hits, self.accesses())
+    }
+}
+
 /// Running totals of page I/O, split by purpose.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IoStats {
@@ -32,12 +55,7 @@ impl IoStats {
     /// (footnote 1: "Percentage of data read from the prefetch cache rather
     /// than from disk"). Returns 0 when nothing was read.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.result_pages_total();
-        if total == 0 {
-            0.0
-        } else {
-            self.result_pages_cache as f64 / total as f64
-        }
+        hit_ratio(self.result_pages_cache, self.result_pages_total())
     }
 
     /// Merges another stats record into this one.
@@ -58,6 +76,16 @@ mod tests {
     #[test]
     fn hit_rate_empty_is_zero() {
         assert_eq!(IoStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_guards_zero_total() {
+        assert_eq!(hit_ratio(0, 0), 0.0);
+        assert_eq!(hit_ratio(3, 4), 0.75);
+        // CacheStats alias agrees with hit_rate on the same counters.
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_ratio(), s.hit_rate());
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
     }
 
     #[test]

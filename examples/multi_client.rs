@@ -66,7 +66,7 @@ fn main() {
         "private caches ({} × {} pages): hit rate {:.1} %",
         CLIENTS,
         private_exec.cache_pages,
-        100.0 * private_hits as f64 / private_pages.max(1) as f64
+        100.0 * scout::storage::hit_ratio(private_hits, private_pages)
     );
 
     // 2. Shared sharded cache, deterministic round-robin schedule.

@@ -44,13 +44,15 @@
 //! | [`scout_index`] | STR R-tree and FLAT-style neighborhood index |
 //! | [`scout_synth`] | synthetic datasets + guided query sequences |
 //! | [`scout_core`] | SCOUT and SCOUT-OPT |
-//! | [`scout_baselines`] | EWMA, straight line, polynomial, velocity, Hilbert, layered |
+//! | [`scout_predict`] | Markov history prefetcher, SCOUT hybrid, feedback control |
+//! | [`scout_baselines`] | EWMA, straight line, polynomial, velocity, Hilbert, layered, Markov |
 //! | [`scout_sim`] | prefetcher trait, Figure-2 executor, workloads, experiments |
 
 pub use scout_baselines as baselines;
 pub use scout_core as core;
 pub use scout_geometry as geometry;
 pub use scout_index as index;
+pub use scout_predict as predict;
 pub use scout_sim as sim;
 pub use scout_storage as storage;
 pub use scout_synth as synth;
@@ -61,6 +63,10 @@ pub mod prelude {
     pub use scout_core::{Scout, ScoutConfig, ScoutOpt, ScoutOptConfig, Strategy};
     pub use scout_geometry::{Aabb, Aspect, QueryRegion, Shape, SpatialObject, Vec3};
     pub use scout_index::{FlatIndex, OrderedSpatialIndex, RTree, SpatialIndex};
+    pub use scout_predict::{
+        FeedbackConfig, FeedbackController, HybridConfig, HybridPrefetcher, MarkovConfig,
+        MarkovPrefetcher, MarkovPrefetcherConfig, TransitionPredictor,
+    };
     pub use scout_sim::{
         evaluate, percentiles, region_lists, run_parallel, run_sequence, run_sequences,
         ExecutorConfig, LatencyPercentiles, MultiSessionConfig, MultiSessionExecutor,
