@@ -45,6 +45,18 @@ fn main() {
             );
         }
     }
+    eprintln!(
+        "parallel grid_hash sweep (tier {}, machine parallelism {})",
+        report.tier, report.max_parallelism
+    );
+    for p in &report.parallel {
+        let best = p.best();
+        eprint!("[{}] serial {:>9.1} µs  |", p.name, p.serial_us);
+        for t in &p.sweep {
+            eprint!("  {}t {:>9.1} µs", t.threads, t.us);
+        }
+        eprintln!("  | best {}t ({:.2}x)", best.threads, p.best_speedup());
+    }
     std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
     eprintln!("wrote BENCH_hotpath.json");
 }

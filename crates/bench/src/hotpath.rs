@@ -31,11 +31,11 @@
 
 use scout_core::reference::ReferenceGraph;
 use scout_core::{GraphBuildKind, ResultGraph, ScoutConfig};
-use scout_geometry::hilbert::hilbert_index_3d;
+use scout_geometry::hilbert::hilbert_indices_3d;
 use scout_geometry::{Aabb, ObjectId, QueryRegion, SpatialObject, Vec3};
 use scout_index::reference::ReferenceRTree;
 use scout_index::{KnnScratch, RTree, SpatialIndex};
-use scout_sim::QueryScratch;
+use scout_sim::{default_parallelism, QueryScratch};
 use scout_synth::{
     generate_lung, generate_neurons, generate_roads, Dataset, LungParams, NeuronParams, RoadParams,
 };
@@ -109,6 +109,42 @@ pub struct IncrementalReport {
     pub sweeps: Vec<OverlapSweep>,
 }
 
+/// One forced part width of the parallel grid-hash sweep.
+#[derive(Debug, Clone)]
+pub struct ThreadTiming {
+    /// Forced build width (`ResultGraph::set_build_threads`).
+    pub threads: usize,
+    /// Mean µs per full grid-hash build at this width.
+    pub us: f64,
+}
+
+/// The parallel grid-hash sweep of one dataset: the serial baseline
+/// against forced fork-join widths over the same full-result build.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Dataset name (JSON key).
+    pub name: &'static str,
+    /// Result objects per build.
+    pub result_objects: usize,
+    /// Serial baseline (`build_threads = 1`), µs per build.
+    pub serial_us: f64,
+    /// One entry per forced width (ascending; includes width 1).
+    pub sweep: Vec<ThreadTiming>,
+}
+
+impl ParallelReport {
+    /// The fastest sweep point (the sweep always contains width 1, so
+    /// "best" can never be worse than the serial structure itself).
+    pub fn best(&self) -> &ThreadTiming {
+        self.sweep.iter().min_by(|a, b| a.us.total_cmp(&b.us)).expect("sweep is never empty")
+    }
+
+    /// serial / best — the speedup of the best width.
+    pub fn best_speedup(&self) -> f64 {
+        self.serial_us / self.best().us.max(1e-9)
+    }
+}
+
 /// A full hot-path measurement run.
 #[derive(Debug, Clone)]
 pub struct HotpathReport {
@@ -116,11 +152,17 @@ pub struct HotpathReport {
     pub iters: usize,
     /// Grid resolution used for grid hashing.
     pub grid_resolution: u32,
+    /// Dispatch tier the slice kernels ran under on this machine.
+    pub tier: &'static str,
+    /// `SCOUT_THREADS` / machine parallelism the auto width would use.
+    pub max_parallelism: usize,
     /// Kernel timings per dataset; `datasets[0]` is the neuron tissue
     /// (the PR 3 trajectory numbers).
     pub datasets: Vec<DatasetKernels>,
     /// Incremental-vs-full sweeps per dataset.
     pub incremental: Vec<IncrementalReport>,
+    /// Parallel grid-hash sweeps per dataset.
+    pub parallel: Vec<ParallelReport>,
 }
 
 impl HotpathReport {
@@ -140,6 +182,19 @@ impl HotpathReport {
         self.incremental.iter().find(|d| d.name == name)
     }
 
+    /// The parallel sweep of one dataset by name.
+    pub fn parallel(&self, name: &str) -> Option<&ParallelReport> {
+        self.parallel.iter().find(|d| d.name == name)
+    }
+
+    /// Datasets whose best sweep point regressed more than 10 % below
+    /// the serial baseline — the CI guard value. The sweep includes
+    /// width 1, so a regression means even the forced serial structure
+    /// drifted, not merely that this machine lacks cores.
+    pub fn parallel_regressions(&self) -> u64 {
+        self.parallel.iter().filter(|p| p.best().us > p.serial_us * 1.10).count() as u64
+    }
+
     /// Timed fallback builds summed over every dataset's 0.9-overlap
     /// sweep — the CI guard value: at 0.9 overlap the delta path must
     /// always fire, so anything nonzero is a heuristic regression.
@@ -157,8 +212,9 @@ impl HotpathReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {} }},\n",
-            self.iters, self.grid_resolution
+            "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {}, \"tier\": \"{}\", \
+             \"max_parallelism\": {} }},\n",
+            self.iters, self.grid_resolution, self.tier, self.max_parallelism
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {
@@ -209,9 +265,33 @@ impl HotpathReport {
             out.push_str(&format!("      }}\n    }}{comma}\n"));
         }
         out.push_str("  },\n");
+        out.push_str("  \"parallel\": {\n");
+        for (i, p) in self.parallel.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\n      \"result_objects\": {}, \"serial_us\": {:.2},\n      \
+                 \"threads\": {{ ",
+                p.name, p.result_objects, p.serial_us
+            ));
+            for (j, t) in p.sweep.iter().enumerate() {
+                let comma = if j + 1 < p.sweep.len() { ", " } else { "" };
+                out.push_str(&format!("\"{}\": {:.2}{}", t.threads, t.us, comma));
+            }
+            let best = p.best();
+            let comma = if i + 1 < self.parallel.len() { "," } else { "" };
+            out.push_str(&format!(
+                " }},\n      \"best_threads\": {}, \"best_us\": {:.2}, \
+                 \"best_speedup\": {:.2}\n    }}{}\n",
+                best.threads,
+                best.us,
+                p.best_speedup(),
+                comma
+            ));
+        }
+        out.push_str("  },\n");
         out.push_str(&format!(
-            "  \"guard\": {{ \"overlap_0_9_fallbacks\": {} }}\n",
-            self.overlap_0_9_fallbacks()
+            "  \"guard\": {{ \"overlap_0_9_fallbacks\": {}, \"parallel_regressions\": {} }}\n",
+            self.overlap_0_9_fallbacks(),
+            self.parallel_regressions()
         ));
         out.push_str("}\n");
         out
@@ -346,10 +426,52 @@ fn hilbert_tour(objects: &[SpatialObject], bounds: &Aabb) -> Vec<ObjectId> {
         }
         q
     };
+    // Bulk-encode through the dispatched slice kernel (scalar/AVX2 agree
+    // bit-for-bit, so the tour is machine-independent).
+    let coords: Vec<[u32; 3]> = objects.iter().map(|o| quantize(o.centroid())).collect();
+    let mut keys = Vec::new();
+    hilbert_indices_3d(&coords, ORDER, &mut keys);
     let mut keyed: Vec<(u64, ObjectId)> =
-        objects.iter().map(|o| (hilbert_index_3d(quantize(o.centroid()), ORDER), o.id)).collect();
+        keys.into_iter().zip(objects.iter().map(|o| o.id)).collect();
     keyed.sort_unstable();
     keyed.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Measures the full grid-hash build at forced fork-join widths against
+/// the serial baseline. On machines without spare cores (or with
+/// `SCOUT_THREADS=1`) the widths > 1 still execute the fork-join
+/// structure — staging, fixed-order merges, run-aligned chunking — just
+/// inline, so the sweep then reports the structure's overhead rather
+/// than a speedup; the guard only trips if even the best point regresses
+/// past 10 %.
+fn parallel_report(name: &'static str, dataset: &Dataset, iters: usize) -> ParallelReport {
+    let objects = &dataset.objects;
+    let result_ids: Vec<ObjectId> = objects.iter().map(|o| o.id).collect();
+    let region = QueryRegion::from_aabb(dataset.bounds);
+    let resolution = ScoutConfig::default().grid_resolution;
+    let simplification = ScoutConfig::default().simplification;
+
+    let mut scratch = QueryScratch::new();
+    let mut graph = ResultGraph::default();
+    let timed = |threads: usize, scratch: &mut QueryScratch, graph: &mut ResultGraph| {
+        graph.set_build_threads(threads);
+        time_us(iters, || {
+            graph.build_grid_hash(
+                scratch,
+                objects,
+                &result_ids,
+                &region,
+                resolution,
+                simplification,
+            );
+        })
+    };
+    let serial_us = timed(1, &mut scratch, &mut graph);
+    let sweep = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| ThreadTiming { threads, us: timed(threads, &mut scratch, &mut graph) })
+        .collect();
+    ParallelReport { name, result_objects: result_ids.len(), serial_us, sweep }
 }
 
 /// Number of timed queries per sweep repetition.
@@ -517,11 +639,19 @@ pub fn run(iters: usize) -> HotpathReport {
         incremental_report("lung", &lung, repeats),
         incremental_report("roads", &roads, repeats),
     ];
+    let parallel = vec![
+        parallel_report("neuron", &neuron, iters),
+        parallel_report("lung", &lung, iters),
+        parallel_report("roads", &roads, iters),
+    ];
 
     HotpathReport {
         iters,
         grid_resolution: ScoutConfig::default().grid_resolution,
+        tier: scout_geometry::cpu_tier().name(),
+        max_parallelism: default_parallelism(),
         datasets,
         incremental,
+        parallel,
     }
 }

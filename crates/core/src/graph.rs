@@ -42,7 +42,7 @@ use crate::graph_cache::{FullBuildReason, GraphBuildKind, GraphCache, GraphCache
 use scout_geometry::{
     ObjectAdjacency, ObjectId, QueryRegion, Simplification, SpatialObject, UniformGrid,
 };
-use scout_sim::{CpuUnits, QueryScratch};
+use scout_sim::{default_parallelism, CpuUnits, QueryScratch, SharedSlice, WorkerPool};
 
 /// Local vertex index within one result graph.
 pub type VertexId = u32;
@@ -99,6 +99,13 @@ const DENSE_REMAP_SLACK: usize = 4;
 /// wins).
 const CELL_HISTOGRAM_SLACK: usize = 4;
 
+/// Below this many result vertices the fork-join build passes are not
+/// worth the dispatch handshake and auto-parallelism stays serial (an
+/// explicit [`ResultGraph::set_build_threads`] overrides the cutoff, which
+/// the byte-identity tests rely on to exercise the parallel passes on
+/// small inputs).
+const PARALLEL_BUILD_CUTOFF: usize = 4096;
+
 /// The per-query-result object graph, in CSR form.
 #[derive(Debug, Clone, Default)]
 pub struct ResultGraph {
@@ -126,6 +133,11 @@ pub struct ResultGraph {
     /// cell runs, plus the repair double buffers). Owned by the graph so
     /// the cache can only ever describe *this* graph's last build.
     cache: GraphCache,
+    /// Fork-join width of the grid-hash build passes: `0` sizes from
+    /// [`default_parallelism`] with a small-input serial cutoff, `1`
+    /// forces the serial path, `>1` forces that many parts. Every width
+    /// produces byte-identical output (see DESIGN.md §9).
+    build_threads: usize,
 }
 
 impl ResultGraph {
@@ -203,6 +215,26 @@ impl ResultGraph {
         self.remap_pairs.clear();
         self.edge_count = 0;
         self.cache.invalidate();
+    }
+
+    /// Sets the fork-join width of the grid-hash build passes: `0` (the
+    /// default) sizes from [`default_parallelism`] — i.e. `SCOUT_THREADS`
+    /// or the machine — with a small-input serial cutoff; `1` forces the
+    /// serial path; `>1` forces that many parts even on small inputs.
+    /// Purely a performance knob: the build output is byte-identical at
+    /// every width.
+    pub fn set_build_threads(&mut self, threads: usize) {
+        self.build_threads = threads;
+    }
+
+    /// The part count the next grid-hash build will use for `n` result
+    /// vertices.
+    fn build_parts(&self, n: usize) -> usize {
+        match self.build_threads {
+            0 if n < PARALLEL_BUILD_CUTOFF => 1,
+            0 => default_parallelism().min(n.max(1)),
+            t => t.min(n.max(1)),
+        }
     }
 
     /// Drops the incremental-build state (sequence boundary / session
@@ -378,18 +410,49 @@ impl ResultGraph {
         }
 
         // Pass 1: vertices (result order — the numbering every consumer
-        // relies on) and (cell, vertex) pairs.
+        // relies on) and (cell, vertex) pairs. Parallel: contiguous
+        // vertex ranges stage pairs per part, concatenated in fixed part
+        // order — identical to the serial append order.
+        let n = result_ids.len();
+        let parts = self.build_parts(n);
+        let pool = WorkerPool::global();
+        self.object_ids.extend_from_slice(result_ids);
+        units.graph_object_inserts += n as u64;
         scratch.cell_pairs.clear();
-        for (v, &oid) in result_ids.iter().enumerate() {
-            self.object_ids.push(oid);
-            units.graph_object_inserts += 1;
-            let simplified = objects[oid.index()].shape.simplified(simplification);
-            scratch.cells.clear();
-            grid.cells_for_simplified(&simplified, &mut scratch.cells);
-            scratch.cells.sort_unstable();
-            scratch.cells.dedup();
-            for &c in &scratch.cells {
-                scratch.cell_pairs.push((c, v as u32));
+        if parts > 1 {
+            scratch.ensure_workers(parts);
+            let chunk = n.div_ceil(parts);
+            let workers = SharedSlice::new(&mut scratch.workers[..parts]);
+            pool.run(parts, &|p| {
+                // SAFETY: part `p` touches only `workers[p]`.
+                let w = unsafe { &mut workers.slice_mut(p..p + 1)[0] };
+                w.pairs.clear();
+                let hi = ((p + 1) * chunk).min(n);
+                let lo = (p * chunk).min(hi);
+                for (v, &oid) in (lo..).zip(&result_ids[lo..hi]) {
+                    let simplified = objects[oid.index()].shape.simplified(simplification);
+                    w.cells.clear();
+                    grid.cells_for_simplified(&simplified, &mut w.cells);
+                    w.cells.sort_unstable();
+                    w.cells.dedup();
+                    for &c in &w.cells {
+                        w.pairs.push((c, v as u32));
+                    }
+                }
+            });
+            for w in &scratch.workers[..parts] {
+                scratch.cell_pairs.extend_from_slice(&w.pairs);
+            }
+        } else {
+            for (v, &oid) in result_ids.iter().enumerate() {
+                let simplified = objects[oid.index()].shape.simplified(simplification);
+                scratch.cells.clear();
+                grid.cells_for_simplified(&simplified, &mut scratch.cells);
+                scratch.cells.sort_unstable();
+                scratch.cells.dedup();
+                for &c in &scratch.cells {
+                    scratch.cell_pairs.push((c, v as u32));
+                }
             }
         }
         self.rebuild_remap();
@@ -421,28 +484,80 @@ impl ResultGraph {
         // is all the edge passes need; within a cell run the vertices stay
         // in ascending (result) order either way.
         let cell_count = grid.cell_count() as usize;
-        if cell_count <= scratch.cell_pairs.len().max(1024) * CELL_HISTOGRAM_SLACK {
-            // Histogram + stable scatter via the counts buffer; the edges
-            // buffer doubles as the same-typed scatter destination.
-            scratch.counts.clear();
-            scratch.counts.resize(cell_count, 0);
-            for &(c, _) in &scratch.cell_pairs {
-                scratch.counts[c as usize] += 1;
+        let pair_count = scratch.cell_pairs.len();
+        if cell_count <= pair_count.max(1024) * CELL_HISTOGRAM_SLACK {
+            if parts > 1 {
+                // Parallel stable counting sort: per-part histograms over
+                // contiguous pair chunks, merged in fixed part order into
+                // per-part scatter cursors. Within a cell the parts write
+                // in part order and each part in chunk order — exactly the
+                // serial stable scatter sequence.
+                let chunk = pair_count.div_ceil(parts);
+                let pairs = &scratch.cell_pairs;
+                {
+                    let workers = SharedSlice::new(&mut scratch.workers[..parts]);
+                    pool.run(parts, &|p| {
+                        // SAFETY: part `p` touches only `workers[p]`.
+                        let w = unsafe { &mut workers.slice_mut(p..p + 1)[0] };
+                        w.counts.clear();
+                        w.counts.resize(cell_count, 0);
+                        let hi = ((p + 1) * chunk).min(pair_count);
+                        for &(c, _) in &pairs[(p * chunk).min(hi)..hi] {
+                            w.counts[c as usize] += 1;
+                        }
+                    });
+                }
+                let mut start = 0u32;
+                for c in 0..cell_count {
+                    for w in &mut scratch.workers[..parts] {
+                        let count = w.counts[c];
+                        w.counts[c] = start;
+                        start += count;
+                    }
+                }
+                scratch.edges.clear();
+                scratch.edges.resize(pair_count, (0, 0));
+                let grouped = SharedSlice::new(&mut scratch.edges);
+                let pairs = &scratch.cell_pairs;
+                let workers = SharedSlice::new(&mut scratch.workers[..parts]);
+                pool.run(parts, &|p| {
+                    // SAFETY: part `p` touches only `workers[p]`; the
+                    // merged cursors give every (part, cell) pair a slot
+                    // range disjoint from all others.
+                    let w = unsafe { &mut workers.slice_mut(p..p + 1)[0] };
+                    let hi = ((p + 1) * chunk).min(pair_count);
+                    for &(c, v) in &pairs[(p * chunk).min(hi)..hi] {
+                        unsafe { grouped.write(w.counts[c as usize] as usize, (c, v)) };
+                        w.counts[c as usize] += 1;
+                    }
+                });
+                std::mem::swap(&mut scratch.cell_pairs, &mut scratch.edges);
+            } else {
+                // Histogram + stable scatter via the counts buffer; the
+                // edges buffer doubles as the same-typed scatter
+                // destination.
+                scratch.counts.clear();
+                scratch.counts.resize(cell_count, 0);
+                for &(c, _) in &scratch.cell_pairs {
+                    scratch.counts[c as usize] += 1;
+                }
+                let mut start = 0u32;
+                for c in scratch.counts.iter_mut() {
+                    let count = *c;
+                    *c = start;
+                    start += count;
+                }
+                scratch.edges.clear();
+                scratch.edges.resize(pair_count, (0, 0));
+                for &(c, v) in &scratch.cell_pairs {
+                    scratch.edges[scratch.counts[c as usize] as usize] = (c, v);
+                    scratch.counts[c as usize] += 1;
+                }
+                std::mem::swap(&mut scratch.cell_pairs, &mut scratch.edges);
             }
-            let mut start = 0u32;
-            for c in scratch.counts.iter_mut() {
-                let count = *c;
-                *c = start;
-                start += count;
-            }
-            scratch.edges.clear();
-            scratch.edges.resize(scratch.cell_pairs.len(), (0, 0));
-            for &(c, v) in &scratch.cell_pairs {
-                scratch.edges[scratch.counts[c as usize] as usize] = (c, v);
-                scratch.counts[c as usize] += 1;
-            }
-            std::mem::swap(&mut scratch.cell_pairs, &mut scratch.edges);
         } else {
+            // Histogram too sparse to pay for: comparison sort. Rare
+            // (pathological resolutions only) and left serial.
             scratch.cell_pairs.sort_unstable();
         }
         if let Some(cache) = capture.as_deref_mut() {
@@ -454,57 +569,227 @@ impl ResultGraph {
 
         // Pass 3: degrees (duplicates included) straight off the cell
         // runs — every member of a k-cell gains k−1 incidences.
-        let n = result_ids.len();
-        scratch.counts.clear();
-        scratch.counts.resize(n, 0);
-        let pairs = &scratch.cell_pairs;
-        let mut i = 0;
-        while i < pairs.len() {
-            let cell = pairs[i].0;
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == cell {
-                j += 1;
-            }
-            let k = (j - i) as u32;
-            for &(_, v) in &pairs[i..j] {
-                scratch.counts[v as usize] += k - 1;
-            }
-            i = j;
-        }
-        let total = Self::prefix_sum_offsets(&mut self.offsets, &scratch.counts);
-        // Pass 4: scatter both directions of every co-located pair into
-        // the rows, reusing the histogram as per-row write cursors.
-        self.targets.clear();
-        self.targets.resize(total, 0);
-        for c in scratch.counts.iter_mut() {
-            *c = 0;
-        }
-        let mut i = 0;
-        while i < pairs.len() {
-            let cell = pairs[i].0;
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == cell {
-                j += 1;
-            }
-            for a in i..j {
-                for b in (a + 1)..j {
-                    let (va, vb) = (pairs[a].1, pairs[b].1);
-                    self.targets
-                        [(self.offsets[va as usize] + scratch.counts[va as usize]) as usize] = vb;
-                    scratch.counts[va as usize] += 1;
-                    self.targets
-                        [(self.offsets[vb as usize] + scratch.counts[vb as usize]) as usize] = va;
-                    scratch.counts[vb as usize] += 1;
+        if parts > 1 {
+            self.build_csr_parallel(scratch, parts, pool, &mut units);
+        } else {
+            scratch.counts.clear();
+            scratch.counts.resize(n, 0);
+            let pairs = &scratch.cell_pairs;
+            let mut i = 0;
+            while i < pairs.len() {
+                let cell = pairs[i].0;
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == cell {
+                    j += 1;
                 }
+                let k = (j - i) as u32;
+                for &(_, v) in &pairs[i..j] {
+                    scratch.counts[v as usize] += k - 1;
+                }
+                i = j;
             }
-            i = j;
+            let total = Self::prefix_sum_offsets(&mut self.offsets, &scratch.counts);
+            // Pass 4: scatter both directions of every co-located pair
+            // into the rows, reusing the histogram as per-row write
+            // cursors.
+            self.targets.clear();
+            self.targets.resize(total, 0);
+            for c in scratch.counts.iter_mut() {
+                *c = 0;
+            }
+            let mut i = 0;
+            while i < pairs.len() {
+                let cell = pairs[i].0;
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == cell {
+                    j += 1;
+                }
+                for a in i..j {
+                    for b in (a + 1)..j {
+                        let (va, vb) = (pairs[a].1, pairs[b].1);
+                        self.targets
+                            [(self.offsets[va as usize] + scratch.counts[va as usize]) as usize] =
+                            vb;
+                        scratch.counts[va as usize] += 1;
+                        self.targets
+                            [(self.offsets[vb as usize] + scratch.counts[vb as usize]) as usize] =
+                            va;
+                        scratch.counts[vb as usize] += 1;
+                    }
+                }
+                i = j;
+            }
+            self.dedup_rows(&mut units);
         }
-        self.dedup_rows(&mut units);
         if let Some(cache) = capture {
             cache.sig = crate::graph_cache::GridSignature::of(&grid);
             cache.valid = true;
         }
         units
+    }
+
+    /// Passes 3–4 and row dedup of the grid-hash build, fork-joined over
+    /// run-aligned chunks of the grouped pair list. Every write lands at
+    /// a slot derived from fixed-order prefix sums of per-part partials,
+    /// so the CSR comes out byte-identical to the serial passes (see
+    /// DESIGN.md §9); only the final compaction stays serial, because
+    /// shrinking rows slide left across part boundaries.
+    fn build_csr_parallel(
+        &mut self,
+        scratch: &mut QueryScratch,
+        parts: usize,
+        pool: &WorkerPool,
+        units: &mut CpuUnits,
+    ) {
+        let n = self.object_ids.len();
+        let len = scratch.cell_pairs.len();
+        // Run-aligned part boundaries: a cell run never spans two parts,
+        // so each part sees whole runs and the per-run double loops need
+        // no cross-part coordination.
+        scratch.part_starts.clear();
+        scratch.part_starts.push(0);
+        let chunk = len.div_ceil(parts);
+        for p in 1..parts {
+            let mut i = (p * chunk).max(*scratch.part_starts.last().unwrap());
+            while i < len && scratch.cell_pairs[i].0 == scratch.cell_pairs[i - 1].0 {
+                i += 1;
+            }
+            scratch.part_starts.push(i.min(len));
+        }
+        scratch.part_starts.push(len);
+
+        // Pass 3 (parallel): per-part degree partials — a vertex's cells
+        // can land in several parts' runs, so partials add up.
+        let pairs = &scratch.cell_pairs;
+        let bounds = &scratch.part_starts;
+        {
+            let workers = SharedSlice::new(&mut scratch.workers[..parts]);
+            pool.run(parts, &|p| {
+                // SAFETY: part `p` touches only `workers[p]`.
+                let w = unsafe { &mut workers.slice_mut(p..p + 1)[0] };
+                w.counts.clear();
+                w.counts.resize(n, 0);
+                let (mut i, hi) = (bounds[p], bounds[p + 1]);
+                while i < hi {
+                    let cell = pairs[i].0;
+                    let mut j = i + 1;
+                    while j < hi && pairs[j].0 == cell {
+                        j += 1;
+                    }
+                    let k = (j - i) as u32;
+                    for &(_, v) in &pairs[i..j] {
+                        w.counts[v as usize] += k - 1;
+                    }
+                    i = j;
+                }
+            });
+        }
+        // Fixed-order merge: each partial becomes its part's scatter base
+        // within the row (exclusive prefix over parts), the totals become
+        // the row degrees.
+        scratch.counts.clear();
+        scratch.counts.resize(n, 0);
+        for v in 0..n {
+            let mut running = 0u32;
+            for w in &mut scratch.workers[..parts] {
+                let t = w.counts[v];
+                w.counts[v] = running;
+                running += t;
+            }
+            scratch.counts[v] = running;
+        }
+        let total = Self::prefix_sum_offsets(&mut self.offsets, &scratch.counts);
+
+        // Pass 4 (parallel): each part scatters its runs through its own
+        // merged cursors — row `v`'s slots split into per-part subranges
+        // in part order, reproducing the serial run-order writes exactly.
+        self.targets.clear();
+        self.targets.resize(total, 0);
+        let offsets = &self.offsets;
+        {
+            let targets = SharedSlice::new(&mut self.targets);
+            let workers = SharedSlice::new(&mut scratch.workers[..parts]);
+            pool.run(parts, &|p| {
+                // SAFETY: part `p` touches only `workers[p]`; the merged
+                // cursor bases give every (part, row) pair a slot range
+                // disjoint from all others.
+                let w = unsafe { &mut workers.slice_mut(p..p + 1)[0] };
+                let (mut i, hi) = (bounds[p], bounds[p + 1]);
+                while i < hi {
+                    let cell = pairs[i].0;
+                    let mut j = i + 1;
+                    while j < hi && pairs[j].0 == cell {
+                        j += 1;
+                    }
+                    for a in i..j {
+                        for b in (a + 1)..j {
+                            let (va, vb) = (pairs[a].1, pairs[b].1);
+                            unsafe {
+                                targets.write(
+                                    (offsets[va as usize] + w.counts[va as usize]) as usize,
+                                    vb,
+                                );
+                            }
+                            w.counts[va as usize] += 1;
+                            unsafe {
+                                targets.write(
+                                    (offsets[vb as usize] + w.counts[vb as usize]) as usize,
+                                    va,
+                                );
+                            }
+                            w.counts[vb as usize] += 1;
+                        }
+                    }
+                    i = j;
+                }
+            });
+        }
+
+        // Row dedup, sort phase (parallel): rows are disjoint slices, so
+        // each part sorts and uniq-compacts a contiguous vertex range in
+        // place, recording unique lengths.
+        scratch.row_lens.clear();
+        scratch.row_lens.resize(n, 0);
+        let vchunk = n.div_ceil(parts);
+        {
+            let targets = SharedSlice::new(&mut self.targets);
+            let lens = SharedSlice::new(&mut scratch.row_lens);
+            pool.run(parts, &|p| {
+                for v in p * vchunk..((p + 1) * vchunk).min(n) {
+                    // SAFETY: rows are disjoint slices of `targets` and
+                    // the vertex ranges are disjoint across parts.
+                    let row =
+                        unsafe { targets.slice_mut(offsets[v] as usize..offsets[v + 1] as usize) };
+                    row.sort_unstable();
+                    let mut unique = 0usize;
+                    for i in 0..row.len() {
+                        if unique == 0 || row[i] != row[unique - 1] {
+                            row[unique] = row[i];
+                            unique += 1;
+                        }
+                    }
+                    unsafe { lens.write(v, unique as u32) };
+                }
+            });
+        }
+        // Compaction (serial): rows slide left across part boundaries, so
+        // a later part's writes could clobber an earlier part's unread
+        // tail — and it is a single memmove-bound sweep parallelism could
+        // not speed up anyway.
+        let mut write = 0usize;
+        for v in 0..n {
+            let start = self.offsets[v] as usize;
+            let unique = scratch.row_lens[v] as usize;
+            debug_assert!(write <= start, "compaction cursor overtook row start");
+            self.offsets[v] = write as u32;
+            self.targets.copy_within(start..start + unique, write);
+            write += unique;
+        }
+        self.offsets[n] = write as u32;
+        self.targets.truncate(write);
+        debug_assert_eq!(self.targets.len() % 2, 0, "undirected edges appear twice");
+        self.edge_count = self.targets.len() / 2;
+        units.graph_edge_inserts += self.edge_count as u64;
     }
 
     /// Rebuilds this graph in place from an explicit dataset adjacency,

@@ -1,0 +1,17 @@
+//! Build-time CPU-capability plumbing for the runtime dispatch tiers.
+//!
+//! The dispatch module needs to know at *compile* time whether the target
+//! architecture even has the wide paths (`core::arch` + feature detection
+//! are per-arch APIs), while the *choice* of tier happens at runtime via
+//! `is_x86_feature_detected!`. This script translates the target arch into
+//! a custom cfg so the source stays free of `target_arch` litter and new
+//! architectures only touch this file.
+
+fn main() {
+    // Declare the custom cfgs so `--check-cfg` (and clippy) accept them.
+    println!("cargo::rustc-check-cfg=cfg(scout_dispatch_x86_64)");
+    if std::env::var("CARGO_CFG_TARGET_ARCH").as_deref() == Ok("x86_64") {
+        println!("cargo::rustc-cfg=scout_dispatch_x86_64");
+    }
+    println!("cargo::rerun-if-changed=build.rs");
+}

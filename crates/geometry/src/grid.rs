@@ -144,28 +144,39 @@ impl UniformGrid {
             }
         }
         out.push(self.cell_id(cur));
-        // The segment spans a bounded number of cells; cap iterations
-        // defensively against floating-point stalls.
+        // Every step moves one axis one cell toward `end`, so the walk
+        // needs exactly |Δx|+|Δy|+|Δz| ≤ Σ(dims−1) steps; the cap is pure
+        // defense against floating-point stalls, not a correctness bound.
         let max_steps = (self.dims[0] + self.dims[1] + self.dims[2]) as usize + 3;
         for _ in 0..max_steps {
             if cur == end {
                 break;
             }
-            // Advance along the axis with the nearest cell boundary.
-            let axis = if t_max[0] <= t_max[1] && t_max[0] <= t_max[2] {
-                0
-            } else if t_max[1] <= t_max[2] {
-                1
-            } else {
-                2
-            };
-            let next = cur[axis] as i64 + step[axis];
-            if next < 0 || next >= self.dims[axis] as i64 {
-                break; // left the grid (endpoint was clamped)
+            // Advance along the *unfinished* axis with the nearest cell
+            // boundary. An axis that has reached its endpoint coordinate
+            // is frozen: a segment is monotone per axis, so no further
+            // cells can lie beyond it, and accumulated t_max error at an
+            // exact corner crossing could otherwise re-step a finished
+            // axis, walk off the lattice, and drop the endpoint cell.
+            let mut axis = usize::MAX;
+            let mut best = f64::INFINITY;
+            for a in 0..3 {
+                if cur[a] != end[a] && (axis == usize::MAX || t_max[a] < best) {
+                    axis = a;
+                    best = t_max[a];
+                }
             }
-            cur[axis] = next as u32;
+            // `cur != end` guarantees an unfinished axis, and stepping it
+            // toward `end` stays inside the grid by construction.
+            cur[axis] = (cur[axis] as i64 + step[axis]) as u32;
             t_max[axis] += t_delta[axis];
             out.push(self.cell_id(cur));
+        }
+        if cur != end {
+            // Unreachable under the step-count argument above, but the
+            // contract — the endpoint cell is always reported — must hold
+            // even if floating point misbehaves.
+            out.push(self.cell_id(end));
         }
     }
 

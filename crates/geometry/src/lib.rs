@@ -9,6 +9,7 @@
 //! evaluation (query volumes in µm³, gap distances in µm).
 
 pub mod aabb;
+pub mod dispatch;
 pub mod grid;
 pub mod hilbert;
 pub mod intersect;
@@ -16,11 +17,14 @@ pub mod morton;
 pub mod object;
 pub mod region;
 pub mod shapes;
+pub mod soa;
 pub mod vec3;
 
 pub use aabb::Aabb;
+pub use dispatch::{cpu_tier, CpuTier};
 pub use grid::{CellId, UniformGrid};
 pub use object::{ObjectAdjacency, ObjectId, SpatialObject, StructureId};
 pub use region::{Aspect, QueryRegion};
 pub use shapes::{Cylinder, Segment, Shape, Simplification, Simplified, Sphere, Triangle};
+pub use soa::AabbSoA;
 pub use vec3::Vec3;

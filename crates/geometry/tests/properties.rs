@@ -2,13 +2,15 @@
 
 use proptest::prelude::*;
 use scout_geometry::aabb::Aabb;
+use scout_geometry::dispatch::CpuTier;
 use scout_geometry::grid::UniformGrid;
-use scout_geometry::hilbert::{hilbert_coords_3d, hilbert_index_3d};
+use scout_geometry::hilbert::{hilbert_coords_3d, hilbert_index_3d, hilbert_indices_3d_with};
 use scout_geometry::intersect::{
     clip_segment_to_aabb, segment_aabb_distance, segment_intersects_aabb,
 };
-use scout_geometry::morton::{morton_coords_3d, morton_index_3d};
+use scout_geometry::morton::{morton_coords_3d, morton_index_3d, morton_indices_3d_with};
 use scout_geometry::shapes::Segment;
+use scout_geometry::soa::AabbSoA;
 use scout_geometry::vec3::Vec3;
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
@@ -137,6 +139,64 @@ proptest! {
     }
 
     #[test]
+    fn grid_segment_traversal_covers_interior_crossings(
+        // Endpoints snapped onto an integer sub-lattice so a large share
+        // of the generated segments pass *exactly through* cell corners
+        // and edges — the tie cases where the DDA used to stop early.
+        ax in -8i32..8, ay in -8i32..8, az in -8i32..8,
+        bx in -8i32..8, by in -8i32..8, bz in -8i32..8,
+        dims in 1u32..9,
+    ) {
+        let bounds = Aabb::new(Vec3::splat(-8.0), Vec3::splat(8.0));
+        let g = UniformGrid::new(bounds, [dims; 3]);
+        let seg = Segment::new(
+            Vec3::new(ax as f64, ay as f64, az as f64),
+            Vec3::new(bx as f64, by as f64, bz as f64),
+        );
+        let mut cells = Vec::new();
+        g.cells_for_segment(&seg, &mut cells);
+        prop_assert_eq!(*cells.first().unwrap(), g.cell_of(seg.a));
+        prop_assert_eq!(*cells.last().unwrap(), g.cell_of(seg.b));
+        // Brute force over every cell: a cell whose *interior* the segment
+        // crosses with positive length must be reported. The required set
+        // clips against the cell box shrunk by eps: a segment riding
+        // exactly along a shared face or edge touches the closed boxes on
+        // both sides, but the floor convention assigns it to one cell only
+        // (corner/edge touches are optional — the DDA legitimately picks
+        // one route through a corner tie).
+        let eps = 1e-9;
+        for z in 0..dims {
+            for y in 0..dims {
+                for x in 0..dims {
+                    let id = g.cell_id([x, y, z]);
+                    let cell_box = g.cell_aabb([x, y, z]);
+                    let interior = Aabb::new(
+                        cell_box.min + Vec3::splat(eps),
+                        cell_box.max - Vec3::splat(eps),
+                    );
+                    if let Some((t0, t1)) = clip_segment_to_aabb(&seg, &interior) {
+                        if t1 - t0 > 1e-7 {
+                            prop_assert!(
+                                cells.contains(&id),
+                                "cell {:?} crossed (t {t0}..{t1}) but not reported; got {:?}",
+                                [x, y, z],
+                                cells.iter().map(|&c| g.coords_from_id(c)).collect::<Vec<_>>()
+                            );
+                        }
+                        // Every reported cell must at least touch the segment.
+                    } else {
+                        prop_assert!(
+                            !cells.contains(&id) || segment_aabb_distance(&seg, &cell_box) < eps,
+                            "cell {:?} reported but segment misses it",
+                            [x, y, z]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn grid_segment_traversal_covers_endpoints(
         a in arb_vec3(9.0), b in arb_vec3(9.0),
         dims in 1u32..12,
@@ -154,5 +214,66 @@ proptest! {
             let dist: u32 = ca.iter().zip(cb.iter()).map(|(&p, &q)| p.abs_diff(q)).sum();
             prop_assert!(dist <= 1, "non-adjacent cells {ca:?} -> {cb:?}");
         }
+    }
+
+    // Dispatch-tier determinism: every compiled tier of every slice kernel
+    // must agree bit-for-bit with the per-element scalar API. The tier is
+    // a pure performance choice (DESIGN.md §9).
+
+    #[test]
+    fn morton_slice_tiers_match_per_element(
+        raw in proptest::collection::vec(
+            (0u32..(1 << 21), 0u32..(1 << 21), 0u32..(1 << 21)), 0..300),
+    ) {
+        let coords: Vec<[u32; 3]> = raw.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let mut scalar = Vec::new();
+        let mut wide = Vec::new();
+        morton_indices_3d_with(CpuTier::Scalar, &coords, &mut scalar);
+        morton_indices_3d_with(CpuTier::Avx2, &coords, &mut wide);
+        let reference: Vec<u64> = coords.iter().map(|&c| morton_index_3d(c)).collect();
+        prop_assert_eq!(&scalar, &reference);
+        prop_assert_eq!(&wide, &reference);
+    }
+
+    #[test]
+    fn hilbert_slice_tiers_match_per_element(
+        order in 1u32..11,
+        raw in proptest::collection::vec((0u32..1024, 0u32..1024, 0u32..1024), 0..200),
+    ) {
+        let mask = (1u32 << order) - 1;
+        let coords: Vec<[u32; 3]> =
+            raw.iter().map(|&(x, y, z)| [x & mask, y & mask, z & mask]).collect();
+        let mut scalar = Vec::new();
+        let mut wide = Vec::new();
+        hilbert_indices_3d_with(CpuTier::Scalar, &coords, order, &mut scalar);
+        hilbert_indices_3d_with(CpuTier::Avx2, &coords, order, &mut wide);
+        let reference: Vec<u64> =
+            coords.iter().map(|&c| hilbert_index_3d(c, order)).collect();
+        prop_assert_eq!(&scalar, &reference);
+        prop_assert_eq!(&wide, &reference);
+    }
+
+    #[test]
+    fn soa_overlap_tiers_match_aabb_intersects(
+        raw in proptest::collection::vec(
+            (arb_vec3(8.0), arb_vec3(8.0)), 0..200),
+        qa in arb_vec3(8.0), qb in arb_vec3(8.0),
+    ) {
+        let boxes: Vec<Aabb> =
+            raw.iter().map(|&(p, q)| Aabb::from_corners(p, q)).collect();
+        let query = Aabb::from_corners(qa, qb);
+        let soa = AabbSoA::from_aabbs(&boxes);
+        let mut scalar = Vec::new();
+        let mut wide = Vec::new();
+        soa.overlap_into_with(CpuTier::Scalar, &query, &mut scalar);
+        soa.overlap_into_with(CpuTier::Avx2, &query, &mut wide);
+        let reference: Vec<u32> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&query))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(&scalar, &reference);
+        prop_assert_eq!(&wide, &reference);
     }
 }

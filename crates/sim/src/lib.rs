@@ -12,6 +12,7 @@ pub mod costs;
 pub mod executor;
 pub mod experiment;
 pub mod multi;
+pub mod pool;
 pub mod prefetcher;
 pub mod report;
 pub mod scratch;
@@ -25,10 +26,11 @@ pub use experiment::{aggregate, evaluate, region_lists, run_parallel, AggregateM
 pub use multi::{
     MultiSessionConfig, MultiSessionExecutor, MultiSessionReport, Schedule, SessionReport,
 };
+pub use pool::{default_parallelism, SharedSlice, WorkerPool};
 pub use prefetcher::{
     GraphBuildCounters, NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher,
 };
 pub use report::{percentiles, LatencyPercentiles};
-pub use scratch::QueryScratch;
+pub use scratch::{QueryScratch, WorkerScratch};
 pub use session::Session;
 pub use workloads::Microbenchmark;

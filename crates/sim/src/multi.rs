@@ -21,7 +21,7 @@
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
 use crate::prefetcher::GraphBuildCounters;
-use crate::report::{graph_cache_summary, pct, percentiles, LatencyPercentiles, Table};
+use crate::report::{graph_cache_summary, pct, pct_or_na, percentiles, LatencyPercentiles, Table};
 use crate::session::Session;
 use scout_storage::{hit_ratio, CacheStats, ShardedCache, SharedClock};
 use std::sync::Barrier;
@@ -41,11 +41,10 @@ pub enum Schedule {
 #[derive(Debug, Clone, Copy)]
 pub struct MultiSessionConfig {
     /// The per-session execution environment (window ratio, cache size,
-    /// disk, CPU costs). `cache_pages` is the *total* shared capacity
-    /// request; the effective capacity is rounded up to whole shards
-    /// (`ShardedCache::capacity`, also reported in `CacheStats`), so keep
-    /// `cache_pages` divisible by `shards` when comparing against private
-    /// caches of a sliced budget.
+    /// disk, CPU costs). `cache_pages` is the *total* shared capacity:
+    /// the shards split it exactly (any remainder goes one page each to
+    /// the low shards), so `ShardedCache::capacity` — also reported in
+    /// `CacheStats` — equals the request for any shard count.
     pub exec: ExecutorConfig,
     /// Shard count of the shared cache (rounded up to a power of two).
     pub shards: usize,
@@ -262,7 +261,7 @@ impl MultiSessionReport {
                 format!("#{}", s.id),
                 s.queries.to_string(),
                 s.pages_total.to_string(),
-                pct(s.hit_rate()),
+                pct_or_na(s.hit_rate(), s.pages_total),
                 ms(s.residual.p50),
                 ms(s.residual.p95),
                 ms(s.residual.p99),
@@ -272,18 +271,24 @@ impl MultiSessionReport {
             "all".to_string(),
             self.sessions.iter().map(|s| s.queries).sum::<usize>().to_string(),
             self.total_pages().to_string(),
-            pct(self.hit_rate()),
+            pct_or_na(self.hit_rate(), self.total_pages()),
             ms(self.residual.p50),
             ms(self.residual.p95),
             ms(self.residual.p99),
         ]);
+        // Zero accesses renders as `n/a`, not `0.0 %` — an unused cache is
+        // not a cold one.
+        let shared_hit = match self.cache.accesses() {
+            0 => "n/a".to_string(),
+            _ => format!("{} %", pct(self.cache.hit_ratio())),
+        };
         let mut out = format!(
-            "{}\nshared cache: {} hits / {} accesses ({} %), {} of {} pages used, {} evictions\n\
+            "{}\nshared cache: {} hits / {} accesses ({}), {} of {} pages used, {} evictions\n\
              disk busy: {:.1} simulated ms\n",
             t.render(),
             self.cache.hits,
             self.cache.accesses(),
-            pct(self.cache.hit_ratio()),
+            shared_hit,
             self.cache.len,
             self.cache.capacity,
             self.cache.evictions,
@@ -408,6 +413,33 @@ mod tests {
             assert!(report.sessions.is_empty());
             assert_eq!(report.hit_rate(), 0.0);
         }
+    }
+
+    #[test]
+    fn zero_access_rows_render_as_na() {
+        // A session that never touched a page and an untouched shared
+        // cache: the report must say "no measurement", not "0.0 %" — the
+        // two are indistinguishable otherwise.
+        let report = MultiSessionReport {
+            sessions: vec![SessionReport {
+                id: 0,
+                queries: 0,
+                pages_total: 0,
+                pages_hit: 0,
+                residual: LatencyPercentiles::default(),
+                response_us: 0.0,
+                graph_cache: Some(GraphBuildCounters::default()),
+            }],
+            cache: CacheStats::default(),
+            disk_busy_us: 0.0,
+            residual: LatencyPercentiles::default(),
+        };
+        let s = report.render();
+        assert!(s.contains("accesses (n/a)"), "shared-cache line: {s}");
+        assert!(s.contains("(n/a inc;"), "graph-build line: {s}");
+        // Session row, aggregate row, shared-cache line, and the
+        // per-session + aggregate graph-build lines all carry the marker.
+        assert_eq!(s.matches("n/a").count(), 5, "{s}");
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! A persistent fork-join worker pool for the data-parallel build passes.
+//!
+//! `std::thread::scope` would be the obvious std-only primitive, but it
+//! spawns (and therefore heap-allocates) worker threads on every call —
+//! the zero-allocation steady-state contract of the query hot path (see
+//! DESIGN.md §6/§9) rules that out. Instead the pool keeps a fixed crew of
+//! parked workers alive for the process lifetime and hands them one job at
+//! a time through a mutex + condvar pair: dispatching a job performs no
+//! allocation at all, so a warmed `grid_hash` build stays allocation-free
+//! end to end.
+//!
+//! ## Determinism
+//!
+//! The pool provides *fork-join* parallelism only: `run(parts, f)` calls
+//! `f(0) … f(parts-1)` exactly once each — part 0 inline on the caller,
+//! the rest on workers — and returns after all parts finish. Callers are
+//! written so the result is a pure function of the inputs and `parts`
+//! partitioning is merge-ordered (fixed chunk order), making parallel
+//! output byte-identical to serial; on that basis the pool is free to run
+//! every part inline on the caller whenever workers are unavailable —
+//! e.g. when another thread already holds the pool (K concurrent sessions
+//! of the multi-session engine) — without changing any result.
+//!
+//! ## Thread count
+//!
+//! [`default_parallelism`] resolves the pool size: the `SCOUT_THREADS`
+//! environment variable when set (`1` pins everything serial — the CI
+//! equivalence job), otherwise `std::thread::available_parallelism`.
+
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A job handed to the workers: a type-erased `Fn(part)` living on the
+/// dispatching caller's stack. The raw pointer is only dereferenced
+/// between job publication and the final `remaining == 0` handshake, both
+/// of which happen while the dispatching call is still on the stack, so
+/// the pointee outlives every use.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted by the constructor's bound) and
+// the dispatch protocol bounds its lifetime as described above.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Monotone job counter; a worker runs a job exactly once by
+    /// remembering the last epoch it served.
+    epoch: u64,
+    /// The published job, `None` between dispatches.
+    job: Option<Job>,
+    /// Worker ids `1..=active` participate in the current epoch.
+    active: usize,
+    /// Participating workers that have not finished their part yet.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers sleep here for the next epoch.
+    work_cv: Condvar,
+    /// The dispatcher sleeps here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent fork-join pool; see the module docs. One process-wide
+/// instance is usually enough ([`WorkerPool::global`]), but independent
+/// pools are fine — workers are lazy, so an unused pool costs one mutex.
+pub struct WorkerPool {
+    shared: &'static PoolShared,
+    /// Serializes dispatchers; a contended `try_lock` falls back to
+    /// running every part inline (see the module docs on determinism).
+    dispatch: Mutex<()>,
+    /// Workers spawned so far (lazily grown, never shrunk).
+    spawned: Mutex<usize>,
+    /// Hard cap on workers this pool will ever spawn.
+    max_workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("spawned", &*self.spawned.lock().unwrap())
+            .field("max_workers", &self.max_workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool that will grow to at most `max_workers` parked workers.
+    /// Workers are spawned lazily on the first dispatch that needs them
+    /// (and stay for the process lifetime — the pool leaks its shared
+    /// state by design so workers never dangle).
+    pub fn new(max_workers: usize) -> WorkerPool {
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }));
+        WorkerPool { shared, dispatch: Mutex::new(()), spawned: Mutex::new(0), max_workers }
+    }
+
+    /// The process-wide pool, sized to [`default_parallelism`]` - 1`
+    /// workers (part 0 always runs on the caller).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(default_parallelism().saturating_sub(1)))
+    }
+
+    /// The largest `parts` this pool can truly run concurrently
+    /// (`max_workers + 1` — the caller is always a worker too).
+    pub fn max_parallelism(&self) -> usize {
+        self.max_workers + 1
+    }
+
+    /// Runs `f(0) … f(parts-1)`, each exactly once, returning when all
+    /// parts have finished. Part 0 runs inline on the caller; parts
+    /// beyond `max_parallelism` and dispatches that lose the pool to a
+    /// concurrent caller also run inline, in ascending order. `f` must
+    /// therefore be correct for *any* interleaving — the intended use is
+    /// writing disjoint data per part.
+    ///
+    /// Performs no heap allocation once the workers are spawned.
+    pub fn run<'f>(&self, parts: usize, f: &'f (dyn Fn(usize) + Sync)) {
+        if parts <= 1 {
+            if parts == 1 {
+                f(0);
+            }
+            return;
+        }
+        let workers_wanted = (parts - 1).min(self.max_workers);
+        // A second concurrent dispatcher runs serially instead of
+        // waiting: callers guarantee output does not depend on `parts`,
+        // and the engine's sessions must not convoy on the pool.
+        let Ok(_guard) = self.dispatch.try_lock() else {
+            for p in 0..parts {
+                f(p);
+            }
+            return;
+        };
+        if workers_wanted == 0 || !self.ensure_workers(workers_wanted) {
+            for p in 0..parts {
+                f(p);
+            }
+            return;
+        }
+        // Erase the borrow lifetime for the workers; the join handshake
+        // below keeps the pointee alive across every dereference (see
+        // `Job`).
+        let job = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'f),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f)
+        });
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.job = Some(job);
+            state.active = workers_wanted;
+            state.remaining = workers_wanted;
+            state.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // Workers run parts 1..=workers_wanted; the caller takes part 0
+        // plus any overflow parts beyond the crew size.
+        f(0);
+        for p in workers_wanted + 1..parts {
+            f(p);
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        while state.remaining > 0 {
+            state = self.shared.done_cv.wait(state).unwrap();
+        }
+        state.job = None;
+    }
+
+    /// Ensures at least `wanted` workers exist; returns false when a
+    /// spawn failed (the caller then runs inline — resource exhaustion
+    /// degrades to serial, it does not panic the build).
+    fn ensure_workers(&self, wanted: usize) -> bool {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < wanted {
+            let id = *spawned + 1; // worker ids are 1-based; 0 is the caller
+            let shared = self.shared;
+            let builder = std::thread::Builder::new().name(format!("scout-pool-{id}"));
+            if builder.spawn(move || worker_loop(shared, id)).is_err() {
+                return false;
+            }
+            *spawned += 1;
+        }
+        true
+    }
+}
+
+fn worker_loop(shared: &'static PoolShared, id: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    last_epoch = state.epoch;
+                    if id <= state.active {
+                        break state.job.expect("job published with epoch");
+                    }
+                    // Not participating this epoch; keep waiting.
+                }
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        };
+        // SAFETY: the dispatcher keeps the closure alive until
+        // `remaining` drops to zero, which happens strictly after this
+        // call returns.
+        unsafe { (*job.0)(id) };
+        let mut state = shared.state.lock().unwrap();
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// A raw view of a mutable slice that can be captured by the per-part
+/// closures of [`WorkerPool::run`]. The pool gives no aliasing guarantees,
+/// so every write is `unsafe`: the caller must ensure each part touches a
+/// disjoint set of indices (the build passes derive disjoint ranges from
+/// per-part prefix sums, which is exactly what makes their output
+/// byte-identical to serial).
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is delegated to the caller's disjointness contract; the
+// wrapper itself only carries the pointer across threads.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a slice for disjoint multi-part writes.
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _life: std::marker::PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and no other part may read or write it
+    /// during this `run`.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len);
+        unsafe { self.ptr.add(idx).write(value) };
+    }
+
+    /// Mutable sub-slice `range`.
+    ///
+    /// # Safety
+    /// `range` must be in bounds and no other part may touch any index in
+    /// it during this `run`.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the disjointness contract is the caller's
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+/// The thread count parallel builds size themselves for: `SCOUT_THREADS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism. Cached — the environment is read once per process.
+pub fn default_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("SCOUT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_part_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for parts in [0usize, 1, 2, 4, 9] {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(parts, &|p| {
+                hits[p].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.max_parallelism(), 1);
+        let sum = AtomicUsize::new(0);
+        pool.run(5, &|p| {
+            sum.fetch_add(p + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn disjoint_writes_partition_a_slice() {
+        let pool = WorkerPool::new(2);
+        let mut data = vec![0u32; 90];
+        let n = data.len();
+        let parts = 3usize;
+        {
+            let shared = SharedSlice::new(&mut data);
+            pool.run(parts, &|p| {
+                let chunk = n.div_ceil(parts);
+                let range = p * chunk..((p + 1) * chunk).min(n);
+                // SAFETY: ranges of distinct parts are disjoint.
+                let slice = unsafe { shared.slice_mut(range.clone()) };
+                for (off, slot) in range.zip(slice.iter_mut()) {
+                    *slot = off as u32;
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn reentrant_and_concurrent_dispatch_fall_back_inline() {
+        // Two threads hammering one pool: whichever loses try_lock runs
+        // inline; every part of every run must still execute once.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        pool.run(4, &|_p| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2 * 100 * 4);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = WorkerPool::new(2);
+        // Warm up, then check no new workers appear across further runs.
+        pool.run(3, &|_| {});
+        let spawned = *pool.spawned.lock().unwrap();
+        assert_eq!(spawned, 2);
+        for _ in 0..50 {
+            pool.run(3, &|_| {});
+        }
+        assert_eq!(*pool.spawned.lock().unwrap(), spawned);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

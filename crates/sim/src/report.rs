@@ -121,10 +121,13 @@ pub fn percentiles(samples: &[f64]) -> LatencyPercentiles {
 /// multi-session report.
 pub fn graph_cache_summary(c: &GraphBuildCounters) -> String {
     format!(
-        "{} inc / {} full ({} % inc; cold {}, grid {}, overlap {}, reorder {})",
+        "{} inc / {} full ({} inc; cold {}, grid {}, overlap {}, reorder {})",
         c.incremental,
         c.full(),
-        pct(c.incremental_ratio()),
+        match c.total() {
+            0 => "n/a".to_string(),
+            _ => format!("{} %", pct(c.incremental_ratio())),
+        },
         c.full_cold,
         c.full_grid_changed,
         c.full_low_overlap,
@@ -135,6 +138,17 @@ pub fn graph_cache_summary(c: &GraphBuildCounters) -> String {
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
+}
+
+/// Formats a fraction as a percentage, or `n/a` when no events backed it:
+/// a ratio over zero events renders as `0.0`, indistinguishable from a
+/// genuinely cold cache, so reports must show that no measurement exists.
+pub fn pct_or_na(x: f64, events: u64) -> String {
+    if events == 0 {
+        "n/a".to_string()
+    } else {
+        pct(x)
+    }
 }
 
 /// Formats a speedup factor with one decimal and an `x` suffix.
@@ -193,6 +207,40 @@ mod tests {
         assert_eq!(percentiles(&[]), LatencyPercentiles::default());
         let p = percentiles(&[7.0]);
         assert_eq!((p.p50, p.p95, p.p99), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn percentiles_even_length_two_sample_and_duplicates() {
+        // Even length: nearest rank (no interpolation) — p50 of 1..=10 is
+        // the 5th sample, the tails are the maximum.
+        let even: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let p = percentiles(&even);
+        assert_eq!((p.p50, p.p95, p.p99), (5.0, 10.0, 10.0));
+        // Two samples: p50 is the smaller, both tails the larger.
+        let p = percentiles(&[9.0, 3.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (3.0, 9.0, 9.0));
+        // Duplicate-heavy input: rank lookup lands inside the tie run and
+        // the outliers at either end must not leak into the percentiles.
+        let mut dup = vec![5.0; 98];
+        dup.push(1.0);
+        dup.push(100.0);
+        let p = percentiles(&dup);
+        assert_eq!((p.p50, p.p95, p.p99), (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn pct_or_na_distinguishes_unused_from_cold() {
+        assert_eq!(pct_or_na(0.0, 0), "n/a");
+        assert_eq!(pct_or_na(0.0, 10), "0.0");
+        assert_eq!(pct_or_na(0.75, 4), "75.0");
+    }
+
+    #[test]
+    fn graph_cache_summary_without_builds_is_na() {
+        let none = GraphBuildCounters::default();
+        assert!(graph_cache_summary(&none).contains("(n/a inc;"));
+        let some = GraphBuildCounters { incremental: 3, full_cold: 1, ..Default::default() };
+        assert!(graph_cache_summary(&some).contains("(75.0 % inc;"));
     }
 
     #[test]

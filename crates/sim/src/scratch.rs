@@ -18,6 +18,25 @@
 
 use scout_geometry::Vec3;
 
+/// Per-worker staging buffers for the parallel grid-hash build passes.
+///
+/// Each pool part owns exactly one `WorkerScratch` for the duration of a
+/// [`WorkerPool::run`](crate::pool::WorkerPool::run), so the parallel
+/// passes stay allocation-free in steady state just like the serial path:
+/// capacity warms over the first builds and `clear`/`resize` reuse it.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerScratch {
+    /// Pass-1 staging: this part's `(cell, vertex)` pairs, concatenated
+    /// into the global pair list in fixed part order.
+    pub pairs: Vec<(u32, u32)>,
+    /// Pass-1 per-object cell coverage buffer.
+    pub cells: Vec<u32>,
+    /// Pass-2 partial cell histogram, then (rewritten in place by the
+    /// fixed-order merge) this part's scatter cursors; reused in passes
+    /// 3–4 as the partial degree histogram and per-row write cursors.
+    pub counts: Vec<u32>,
+}
+
 /// Reusable flat buffers for one session's query hot path.
 ///
 /// Fields are public: the consumers (the CSR graph build and incremental
@@ -73,6 +92,14 @@ pub struct QueryScratch {
     pub markov_frontier: Vec<(f64, u32, u32)>,
     /// Sorted pages already emitted during one Markov extraction (dedup).
     pub markov_emitted: Vec<u32>,
+    /// Per-part staging buffers of the parallel grid-hash build; sized by
+    /// [`QueryScratch::ensure_workers`] to the build's part count.
+    pub workers: Vec<WorkerScratch>,
+    /// Parallel CSR dedup: unique neighbor count per row.
+    pub row_lens: Vec<u32>,
+    /// Parallel build passes 3–4: run-aligned part boundaries into the
+    /// grouped pair list.
+    pub part_starts: Vec<usize>,
 }
 
 impl QueryScratch {
@@ -101,6 +128,21 @@ impl QueryScratch {
         self.pages_sorted.clear();
         self.markov_frontier.clear();
         self.markov_emitted.clear();
+        for w in &mut self.workers {
+            w.pairs.clear();
+            w.cells.clear();
+            w.counts.clear();
+        }
+        self.row_lens.clear();
+        self.part_starts.clear();
+    }
+
+    /// Grows the per-part staging set to at least `parts` workers
+    /// (existing workers keep their warmed capacity).
+    pub fn ensure_workers(&mut self, parts: usize) {
+        if self.workers.len() < parts {
+            self.workers.resize_with(parts, WorkerScratch::default);
+        }
     }
 
     /// Total bytes of reserved capacity across all buffers (diagnostics;
@@ -123,6 +165,17 @@ impl QueryScratch {
             + self.pages_sorted.capacity() * std::mem::size_of::<u32>()
             + self.markov_frontier.capacity() * std::mem::size_of::<(f64, u32, u32)>()
             + self.markov_emitted.capacity() * std::mem::size_of::<u32>()
+            + self
+                .workers
+                .iter()
+                .map(|w| {
+                    w.pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+                        + (w.cells.capacity() + w.counts.capacity()) * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>()
+            + self.workers.capacity() * std::mem::size_of::<WorkerScratch>()
+            + self.row_lens.capacity() * std::mem::size_of::<u32>()
+            + self.part_starts.capacity() * std::mem::size_of::<usize>()
     }
 }
 

@@ -31,6 +31,9 @@ pub struct ShardedCache {
     shards: Vec<Mutex<PrefetchCache>>,
     /// log₂(shard count); the shard index is the top bits of the hash.
     shard_bits: u32,
+    /// Total capacity in pages — exactly the constructor's request (the
+    /// per-shard capacities sum to it).
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -40,18 +43,30 @@ pub struct ShardedCache {
 impl ShardedCache {
     /// Cache holding at most `capacity` pages split over `shards` shards.
     ///
-    /// The shard count is rounded up to a power of two; the capacity is
-    /// divided evenly with any remainder rounded up, so the effective
-    /// capacity ([`ShardedCache::capacity`]) can slightly exceed the
-    /// request. Panics when `capacity` or `shards` is zero.
+    /// The shard count is rounded up to a power of two (and down to
+    /// `capacity` when the request exceeds it, so no shard is empty); the
+    /// capacity is divided evenly with the remainder spread one page each
+    /// over the low shards, so the per-shard sum equals the request
+    /// exactly ([`ShardedCache::capacity`] == `capacity`). Panics when
+    /// `capacity` or `shards` is zero.
     pub fn new(capacity: usize, shards: usize) -> ShardedCache {
         assert!(capacity >= 1, "cache capacity must be >= 1");
         assert!(shards >= 1, "shard count must be >= 1");
-        let shards = shards.next_power_of_two();
-        let per_shard = capacity.div_ceil(shards).max(1);
+        let mut shards = shards.next_power_of_two();
+        // More shards than pages would force zero-capacity shards; halving
+        // keeps the count a power of two (shard_of needs that) while every
+        // shard holds at least one page.
+        while shards > capacity {
+            shards /= 2;
+        }
+        let base = capacity / shards;
+        let remainder = capacity % shards;
+        let per_shard = |i: usize| base + usize::from(i < remainder);
+        debug_assert_eq!((0..shards).map(per_shard).sum::<usize>(), capacity);
         ShardedCache {
-            shards: (0..shards).map(|_| Mutex::new(PrefetchCache::new(per_shard))).collect(),
+            shards: (0..shards).map(|i| Mutex::new(PrefetchCache::new(per_shard(i)))).collect(),
             shard_bits: shards.trailing_zeros(),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -64,9 +79,11 @@ impl ShardedCache {
         self.shards.len()
     }
 
-    /// Total capacity in pages (per-shard capacity × shard count).
+    /// Total capacity in pages — exactly what the constructor was asked
+    /// for (the remainder of `capacity / shards` is spread over the low
+    /// shards instead of rounding every shard up).
     pub fn capacity(&self) -> usize {
-        self.shards.len() * self.shards[0].lock().unwrap().capacity()
+        self.capacity
     }
 
     #[inline]
@@ -212,7 +229,43 @@ mod tests {
         assert_eq!(c.shard_count(), 4);
         assert_eq!(c.capacity(), 64); // 16 per shard × 4
         let c = ShardedCache::new(10, 4);
-        assert_eq!(c.capacity(), 12); // ceil(10/4) = 3 per shard × 4
+        assert_eq!(c.capacity(), 10); // 3+3+2+2 over 4 shards
+    }
+
+    #[test]
+    fn capacity_is_exact_for_non_multiples() {
+        // Regression: the constructor used to round every shard up
+        // (div_ceil), silently over-provisioning by up to shards-1 pages —
+        // or with flooring it would under-provision. The per-shard sum
+        // must equal the request exactly for every capacity/shard combo.
+        for shards in [1usize, 2, 3, 4, 7, 8, 16] {
+            for capacity in [1usize, 2, 3, 5, 10, 17, 63, 64, 65, 100] {
+                let c = ShardedCache::new(capacity, shards);
+                assert_eq!(
+                    c.capacity(),
+                    capacity,
+                    "capacity {capacity} over {shards} shards re-provisioned"
+                );
+                // The cache really holds that many pages: fill well past
+                // capacity and check the resident count.
+                for i in 0..(capacity as u32 * 4) {
+                    c.insert(PageId(i));
+                }
+                assert!(c.len() <= capacity, "len {} > capacity {capacity}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_shrinks_shard_count() {
+        // capacity < shards: the shard count halves (staying a power of
+        // two) until every shard holds at least one page.
+        let c = ShardedCache::new(3, 8);
+        assert_eq!(c.shard_count(), 2);
+        assert_eq!(c.capacity(), 3);
+        let c = ShardedCache::new(1, 8);
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.capacity(), 1);
     }
 
     #[test]

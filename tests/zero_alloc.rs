@@ -127,6 +127,54 @@ fn steady_state_graph_build_allocates_nothing() {
         after - before
     );
 
+    // --- Fork-join build passes (ISSUE 6) ----------------------------------
+    //
+    // The same grid-hash tour through the parallel passes: a forced part
+    // width routes every build through per-worker staging, the fixed-order
+    // histogram merges and the parallel row dedup. After the warmup tour
+    // (which also pays any one-time pool/worker spawn cost) the staging
+    // buffers have warmed like every other arena buffer and steady-state
+    // parallel builds must allocate nothing either.
+    let mut par_graph = ResultGraph::default();
+    par_graph.set_build_threads(4);
+    for (region, ids) in regions.iter().zip(&results) {
+        par_graph.build_grid_hash(&mut scratch, objects, ids, region, resolution, simplification);
+        par_graph.components_into(&mut scratch.components, &mut scratch.stack);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        for (region, ids) in regions.iter().zip(&results) {
+            par_graph.build_grid_hash(
+                &mut scratch,
+                objects,
+                ids,
+                region,
+                resolution,
+                simplification,
+            );
+            let n = par_graph.components_into(&mut scratch.components, &mut scratch.stack);
+            std::hint::black_box(n);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "parallel graph-build passes allocated {} times in steady state",
+        after - before
+    );
+    // And the parallel build produced the same graph as the serial one.
+    graph.build_grid_hash(
+        &mut scratch,
+        objects,
+        &results[regions.len() - 1],
+        &regions[regions.len() - 1],
+        resolution,
+        simplification,
+    );
+    assert_eq!(par_graph.vertex_count(), graph.vertex_count());
+    assert_eq!(par_graph.edge_count(), graph.edge_count());
+
     // --- Incremental maintenance (ISSUE 4) ---------------------------------
     //
     // Sliding result windows under one fixed lattice: the region stays
