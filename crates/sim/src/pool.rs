@@ -4,10 +4,18 @@
 //! spawns (and therefore heap-allocates) worker threads on every call —
 //! the zero-allocation steady-state contract of the query hot path (see
 //! DESIGN.md §6/§9) rules that out. Instead the pool keeps a fixed crew of
-//! parked workers alive for the process lifetime and hands them one job at
-//! a time through a mutex + condvar pair: dispatching a job performs no
-//! allocation at all, so a warmed `grid_hash` build stays allocation-free
-//! end to end.
+//! parked workers alive (until the pool is dropped; the global pool's crew
+//! lives for the process) and hands them one job at a time through a
+//! mutex/condvar pair: dispatching a job performs no allocation at all, so
+//! a warmed `grid_hash` build stays allocation-free end to end.
+//!
+//! ## Panics
+//!
+//! A panic anywhere in a job — on the caller's parts or a worker's — is
+//! caught, the dispatch still joins every part (the closure lives on the
+//! caller's stack, so unwinding past the join would leave workers
+//! dereferencing a dead frame), and the payload is then re-raised on the
+//! caller. Workers survive job panics; the pool remains usable.
 //!
 //! ## Determinism
 //!
@@ -25,8 +33,11 @@
 //!
 //! [`default_parallelism`] resolves the pool size: the `SCOUT_THREADS`
 //! environment variable when set (`1` pins everything serial — the CI
-//! equivalence job), otherwise `std::thread::available_parallelism`.
+//! equivalence job; a set-but-invalid value warns and pins serial too),
+//! otherwise `std::thread::available_parallelism`.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// A job handed to the workers: a type-erased `Fn(part)` living on the
@@ -51,6 +62,10 @@ struct PoolState {
     active: usize,
     /// Participating workers that have not finished their part yet.
     remaining: usize,
+    /// First panic payload caught on a worker this epoch; the dispatcher
+    /// re-raises it after the join.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set by `Drop`; workers exit their loop when they observe it.
     shutdown: bool,
 }
 
@@ -88,8 +103,9 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// A pool that will grow to at most `max_workers` parked workers.
     /// Workers are spawned lazily on the first dispatch that needs them
-    /// (and stay for the process lifetime — the pool leaks its shared
-    /// state by design so workers never dangle).
+    /// and exit when the pool is dropped (the small shared-state
+    /// allocation is leaked by design so an exiting worker never
+    /// dangles; the global pool's workers live for the process).
     pub fn new(max_workers: usize) -> WorkerPool {
         let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -97,6 +113,7 @@ impl WorkerPool {
                 job: None,
                 active: 0,
                 remaining: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -124,6 +141,10 @@ impl WorkerPool {
     /// concurrent caller also run inline, in ascending order. `f` must
     /// therefore be correct for *any* interleaving — the intended use is
     /// writing disjoint data per part.
+    ///
+    /// If `f` panics on any part — caller or worker — the dispatch still
+    /// joins every part before the panic is re-raised on the caller, so
+    /// the closure outlives all uses and the pool stays usable.
     ///
     /// Performs no heap allocation once the workers are spawned.
     pub fn run<'f>(&self, parts: usize, f: &'f (dyn Fn(usize) + Sync)) {
@@ -167,16 +188,30 @@ impl WorkerPool {
             self.shared.work_cv.notify_all();
         }
         // Workers run parts 1..=workers_wanted; the caller takes part 0
-        // plus any overflow parts beyond the crew size.
-        f(0);
-        for p in workers_wanted + 1..parts {
-            f(p);
-        }
+        // plus any overflow parts beyond the crew size. The caller's
+        // parts run under `catch_unwind`: unwinding past the join below
+        // would destroy the closure's stack frame while workers still
+        // dereference the type-erased pointer, so the join must happen
+        // on the panic path too — the payload is re-raised after it.
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            f(0);
+            for p in workers_wanted + 1..parts {
+                f(p);
+            }
+        }));
         let mut state = self.shared.state.lock().unwrap();
         while state.remaining > 0 {
             state = self.shared.done_cv.wait(state).unwrap();
         }
         state.job = None;
+        let worker_panic = state.panic.take();
+        drop(state);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
     }
 
     /// Ensures at least `wanted` workers exist; returns false when a
@@ -194,6 +229,21 @@ impl WorkerPool {
             *spawned += 1;
         }
         true
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Signals the workers to exit. `Drop` takes `&mut self`, so no
+    /// dispatch can be in flight: parked workers wake, observe
+    /// `shutdown`, and return. Only the `PoolShared` allocation itself
+    /// is leaked (so a worker mid-wakeup never dangles).
+    fn drop(&mut self) {
+        let mut state = match self.shared.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.shutdown = true;
+        self.shared.work_cv.notify_all();
     }
 }
 
@@ -218,9 +268,15 @@ fn worker_loop(shared: &'static PoolShared, id: usize) {
         };
         // SAFETY: the dispatcher keeps the closure alive until
         // `remaining` drops to zero, which happens strictly after this
-        // call returns.
-        unsafe { (*job.0)(id) };
+        // call returns. Panics are caught so `remaining` is decremented
+        // unconditionally — a dying worker would otherwise leave the
+        // dispatcher (and every later dispatch) waiting forever. The
+        // payload is handed to the dispatcher, which re-raises it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(id) }));
         let mut state = shared.state.lock().unwrap();
+        if let Err(payload) = outcome {
+            state.panic.get_or_insert(payload);
+        }
         state.remaining -= 1;
         if state.remaining == 0 {
             shared.done_cv.notify_one();
@@ -287,19 +343,29 @@ impl<'a, T> SharedSlice<'a, T> {
 
 /// The thread count parallel builds size themselves for: `SCOUT_THREADS`
 /// when set to a positive integer, otherwise the machine's available
-/// parallelism. Cached — the environment is read once per process.
+/// parallelism. A `SCOUT_THREADS` that is set but not a positive integer
+/// (`0`, empty, non-numeric) pins serial with a warning — a botched pin
+/// must never silently re-enable full parallelism. Cached — the
+/// environment is read once per process.
 pub fn default_parallelism() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
-    *CACHED.get_or_init(|| {
-        if let Ok(v) = std::env::var("SCOUT_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
+    *CACHED.get_or_init(|| resolve_parallelism(std::env::var("SCOUT_THREADS").ok().as_deref()))
+}
+
+fn resolve_parallelism(pin: Option<&str>) -> usize {
+    match pin {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: SCOUT_THREADS={v:?} is not a positive integer; \
+                     pinning serial (SCOUT_THREADS=1)"
+                );
+                1
             }
-        }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    })
+        },
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
 }
 
 #[cfg(test)]
@@ -387,5 +453,66 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn bad_thread_pins_degrade_to_serial() {
+        assert_eq!(resolve_parallelism(Some("4")), 4);
+        assert_eq!(resolve_parallelism(Some(" 2 ")), 2);
+        // A set-but-broken pin must mean serial, never full parallelism.
+        assert_eq!(resolve_parallelism(Some("0")), 1);
+        assert_eq!(resolve_parallelism(Some("")), 1);
+        assert_eq!(resolve_parallelism(Some("two")), 1);
+        assert!(resolve_parallelism(None) >= 1);
+    }
+
+    #[test]
+    fn caller_panic_joins_workers_and_propagates() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(3, &|p| {
+                if p == 0 {
+                    panic!("caller part");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool must stay usable after the re-raise.
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        pool.run(3, &|_| {}); // warm the crew
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // Parts 1..=2 run on workers; a worker panic must surface on
+            // the caller, not hang the join.
+            pool.run(3, &|p| {
+                if p == 2 {
+                    panic!("worker part");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The worker survived and later dispatches still run every part.
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(3, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn dropping_a_pool_shuts_workers_down() {
+        let pool = WorkerPool::new(2);
+        pool.run(3, &|_| {}); // spawn the crew
+        drop(pool); // must not hang; workers observe shutdown and exit
     }
 }
