@@ -51,6 +51,7 @@ fn main() {
         exec: private_exec,
         shards: 1,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let solos: Vec<MultiSessionReport> = streams
         .iter()
@@ -72,6 +73,7 @@ fn main() {
         exec,
         shards: 8,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let shared = shared_engine.run(&ctx, sessions(&streams));
     sharing.row([
@@ -92,6 +94,7 @@ fn main() {
             exec,
             shards,
             schedule: Schedule::Threaded,
+            ..Default::default()
         });
         (shards, engine.run(&ctx, sessions(&streams)))
     });
@@ -111,7 +114,12 @@ fn main() {
     for (name, schedule) in
         [("round-robin", Schedule::RoundRobin), ("threaded", Schedule::Threaded)]
     {
-        let engine = MultiSessionExecutor::new(MultiSessionConfig { exec, shards: 8, schedule });
+        let engine = MultiSessionExecutor::new(MultiSessionConfig {
+            exec,
+            shards: 8,
+            schedule,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         let report = engine.run(&ctx, sessions(&streams));
         sched.row([

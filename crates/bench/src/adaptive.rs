@@ -125,9 +125,16 @@ impl AdaptiveReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        // schedule/workers/max_parallelism make cross-run comparisons
+        // interpretable: every bench JSON records how it was scheduled,
+        // even single-threaded sweeps like this one.
         out.push_str(&format!(
-            "  \"config\": {{ \"scale\": {:.2}, \"window_ratio\": {:.2}, \"cache_pages\": {} }},\n",
-            self.scale, self.window_ratio, self.cache_pages
+            "  \"config\": {{ \"scale\": {:.2}, \"window_ratio\": {:.2}, \"cache_pages\": {}, \
+             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {} }},\n",
+            self.scale,
+            self.window_ratio,
+            self.cache_pages,
+            scout_sim::default_parallelism()
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {

@@ -217,8 +217,8 @@ impl HotpathReport {
         out.push_str("{\n");
         out.push_str(&format!(
             "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {}, \"tier\": \"{}\", \
-             \"max_parallelism\": {} }},\n",
-            self.iters, self.grid_resolution, self.tier, self.max_parallelism
+             \"schedule\": \"fork-join\", \"workers\": {}, \"max_parallelism\": {} }},\n",
+            self.iters, self.grid_resolution, self.tier, self.max_parallelism, self.max_parallelism
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {

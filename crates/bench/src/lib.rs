@@ -11,6 +11,7 @@
 
 pub mod adaptive;
 pub mod hotpath;
+pub mod scale;
 
 use scout_baselines::{Ewma, HilbertPrefetch, MarkovPrefetcher, Polynomial, StraightLine};
 use scout_core::{Scout, ScoutOpt};

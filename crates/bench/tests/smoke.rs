@@ -122,3 +122,36 @@ fn adaptive_sweep_guard_holds_at_reduced_scale() {
     // The JSON artifact carries the guard block CI greps for.
     assert!(report.to_json().contains("\"revisit_regressions\": 0"));
 }
+
+#[test]
+fn scale_sweep_guard_holds_at_reduced_scale() {
+    // The CI guard on BENCH_scale.json, as a tier-1 assertion: the M:N
+    // work-stealing scheduler must hit exactly the pages round-robin hits
+    // at every worker width (the eviction-free determinism contract of
+    // DESIGN.md §10). Everything here is simulated page accounting, so the
+    // check is deterministic; only wall-clock columns vary run to run.
+    let report = scout_bench::scale::run(0.01, 42);
+    assert!(!report.points.is_empty(), "sweep produced no points");
+    assert!(!report.guards.is_empty(), "guard runs missing");
+    assert_eq!(
+        report.mn_vs_rr_pages_hit_mismatches(),
+        0,
+        "M:N pages-hit diverged from round-robin:\n{}",
+        report.to_json()
+    );
+    for g in &report.guards {
+        assert_eq!(g.evictions, 0, "width {}: guard run must stay eviction-free", g.workers);
+    }
+    for p in &report.points {
+        assert!(p.pages_total > 0, "{} sessions / {} workers: no pages", p.sessions, p.workers);
+        assert!(p.windows_per_sec > 0.0, "{} sessions: zero throughput", p.sessions);
+        // Parks are schedule-independent bookkeeping (served + survivors
+        // per round), so every width at a given session count agrees.
+        let twin = report.points.iter().find(|q| q.sessions == p.sessions).unwrap();
+        assert_eq!(p.parks, twin.parks, "{} sessions: parks differ across widths", p.sessions);
+    }
+    // The JSON artifact carries the guard block CI greps for.
+    let json = report.to_json();
+    assert!(json.contains("\"mn_vs_rr_pages_hit_mismatches\": 0"));
+    assert!(json.contains("\"schedule\""), "config block must record the schedule");
+}

@@ -147,6 +147,33 @@ proptest! {
             prop_assert_eq!(a, session_signature(&rr2, id), "round-robin not reproducible");
             prop_assert_eq!(a, session_signature(&th, id), "threaded diverged from round-robin");
         }
+
+        // The M:N work-stealing scheduler (ISSUE 7) extends the ladder:
+        // every width preserves the per-session signatures, and width 1
+        // additionally renders byte-identically to round-robin.
+        for workers in [1usize, 2, 4] {
+            let ws = run_fleet(
+                &objects, &tree, Schedule::WorkStealing { workers }, &seeds, laps,
+            );
+            prop_assert_eq!(ws.cache.evictions, 0);
+            for id in 0..k {
+                prop_assert_eq!(
+                    session_signature(&rr, id),
+                    session_signature(&ws, id),
+                    "work-stealing width {} diverged from round-robin on session {}",
+                    workers,
+                    id
+                );
+            }
+            if workers == 1 {
+                prop_assert_eq!(
+                    rr.render(),
+                    ws.render(),
+                    "width-1 work-stealing must render byte-identically to round-robin"
+                );
+            }
+        }
+
         // The fleets made real use of the cache (the property is not
         // vacuous): revisited laps hit prefetched pages.
         prop_assert!(rr.total_pages_hit() > 0);

@@ -15,6 +15,7 @@ pub mod multi;
 pub mod pool;
 pub mod prefetcher;
 pub mod report;
+pub mod scheduler;
 pub mod scratch;
 pub mod session;
 pub mod workloads;
@@ -25,12 +26,14 @@ pub use executor::{run_sequence, run_sequences, ExecutorConfig, QueryTrace, Sequ
 pub use experiment::{aggregate, evaluate, region_lists, run_parallel, AggregateMetrics, TestBed};
 pub use multi::{
     MultiSessionConfig, MultiSessionExecutor, MultiSessionReport, Schedule, SessionReport,
+    TenantReport,
 };
 pub use pool::{default_parallelism, SharedSlice, WorkerPool};
 pub use prefetcher::{
     GraphBuildCounters, NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher,
 };
 pub use report::{percentiles, LatencyPercentiles};
+pub use scheduler::{AdmissionControl, SchedulerReport, SessionScheduler};
 pub use scratch::{QueryScratch, WorkerScratch};
 pub use session::Session;
 pub use workloads::Microbenchmark;

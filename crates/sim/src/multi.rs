@@ -15,13 +15,22 @@
 //!   all sessions' inserts, so totals (pages hit, hit rate) match
 //!   round-robin whenever the cache is not evicting under pressure; scalar
 //!   interleaving inside a phase is up to the scheduler.
+//! * [`Schedule::WorkStealing`] — the M:N
+//!   [`SessionScheduler`](crate::SessionScheduler): a fixed worker crew
+//!   multiplexing any number of sessions via work-stealing run queues,
+//!   with admission control (see [`AdmissionControl`]). Width 1 is
+//!   byte-identical to round-robin; wider crews keep the threaded mode's
+//!   totals contract.
 //!
-//! See DESIGN.md §5 for the precise determinism guarantees of each mode.
+//! See DESIGN.md §5 and §10 for the precise determinism guarantees of
+//! each mode.
 
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
+use crate::pool::default_parallelism;
 use crate::prefetcher::GraphBuildCounters;
 use crate::report::{graph_cache_summary, pct, pct_or_na, percentiles, LatencyPercentiles, Table};
+use crate::scheduler::{AdmissionControl, SchedulerReport, SessionScheduler};
 use crate::session::Session;
 use scout_storage::{hit_ratio, CacheStats, ShardedCache, SharedClock};
 use std::sync::Barrier;
@@ -33,8 +42,16 @@ pub enum Schedule {
     #[default]
     RoundRobin,
     /// One OS thread per session over the shared cache, with barriers at
-    /// phase edges.
+    /// phase edges. Caps out around hundreds of sessions; kept as the
+    /// reference implementation the M:N scheduler is measured against.
     Threaded,
+    /// M:N work-stealing over a fixed crew of `workers` threads
+    /// (0 = [`default_parallelism`]). Scales to tens of thousands of
+    /// sessions; honors [`MultiSessionConfig::admission`].
+    WorkStealing {
+        /// Crew width; 0 picks the machine default (`SCOUT_THREADS`).
+        workers: usize,
+    },
 }
 
 /// Configuration of a multi-session run.
@@ -50,6 +67,10 @@ pub struct MultiSessionConfig {
     pub shards: usize,
     /// Session schedule.
     pub schedule: Schedule,
+    /// Admission/backpressure policy; only [`Schedule::WorkStealing`]
+    /// honors it. The default admits everything immediately, preserving
+    /// width-1 byte-identity with round-robin.
+    pub admission: AdmissionControl,
 }
 
 impl Default for MultiSessionConfig {
@@ -58,6 +79,7 @@ impl Default for MultiSessionConfig {
             exec: ExecutorConfig::default(),
             shards: 8,
             schedule: Schedule::RoundRobin,
+            admission: AdmissionControl::unlimited(),
         }
     }
 }
@@ -104,38 +126,66 @@ impl MultiSessionExecutor {
         }
         let rounds = sessions.iter().map(Session::query_count).max().unwrap_or(0);
         let exec = &self.config.exec;
+        let mut shed: Vec<bool> = vec![false; sessions.len()];
+        let mut scheduler: Option<SchedulerReport> = None;
 
         match self.config.schedule {
             Schedule::RoundRobin => {
-                for _ in 0..rounds {
-                    for session in &mut sessions {
-                        session.serve_observe(ctx, &mut &*cache, exec);
+                // Park exhausted sessions: the round loop only visits
+                // sessions with work left, instead of spinning no-op
+                // serve/finish calls on short streams. Byte-identical to
+                // visiting everyone (exhausted sub-phases were pure
+                // no-ops), just not O(K × max_rounds) for skewed fleets.
+                let mut active: Vec<usize> = (0..sessions.len()).collect();
+                while !active.is_empty() {
+                    for &i in &active {
+                        sessions[i].serve_observe(ctx, &mut &*cache, exec);
                     }
-                    for session in &mut sessions {
-                        session.finish_window(ctx, &mut &*cache, exec);
+                    for &i in &active {
+                        sessions[i].finish_window(ctx, &mut &*cache, exec);
                     }
+                    active.retain(|&i| !sessions[i].is_done());
                 }
             }
-            Schedule::Threaded if !sessions.is_empty() => {
-                let barrier = Barrier::new(sessions.len());
-                std::thread::scope(|scope| {
-                    for session in &mut sessions {
-                        let barrier = &barrier;
-                        scope.spawn(move || {
-                            for _ in 0..rounds {
-                                session.serve_observe(ctx, &mut &*cache, exec);
-                                barrier.wait();
-                                session.finish_window(ctx, &mut &*cache, exec);
-                                barrier.wait();
-                            }
-                        });
-                    }
-                });
+            Schedule::Threaded => {
+                // An empty fleet must assemble the same (empty) report as
+                // round-robin — explicitly, not by falling through a
+                // catch-all arm (a Barrier::new(0) would panic).
+                if !sessions.is_empty() {
+                    let barrier = Barrier::new(sessions.len());
+                    std::thread::scope(|scope| {
+                        for session in &mut sessions {
+                            let barrier = &barrier;
+                            scope.spawn(move || {
+                                for _ in 0..rounds {
+                                    session.serve_observe(ctx, &mut &*cache, exec);
+                                    barrier.wait();
+                                    session.finish_window(ctx, &mut &*cache, exec);
+                                    barrier.wait();
+                                }
+                            });
+                        }
+                    });
+                }
             }
-            Schedule::Threaded => {}
+            Schedule::WorkStealing { workers } => {
+                let width = if workers == 0 { default_parallelism() } else { workers };
+                let outcome = SessionScheduler::global().run_fleet(
+                    ctx,
+                    exec,
+                    cache,
+                    sessions,
+                    width,
+                    self.config.admission,
+                );
+                sessions = outcome.sessions;
+                shed = outcome.shed;
+                shed.resize(sessions.len(), false);
+                scheduler = Some(outcome.report);
+            }
         }
 
-        MultiSessionReport::assemble(sessions, cache.stats(), clock.now_us())
+        MultiSessionReport::assemble(sessions, shed, cache.stats(), clock.now_us(), scheduler)
     }
 }
 
@@ -144,6 +194,11 @@ impl MultiSessionExecutor {
 pub struct SessionReport {
     /// Session id.
     pub id: usize,
+    /// Tenant the session billed to (0 unless assigned).
+    pub tenant: usize,
+    /// True when admission control shed this session: it never ran, and
+    /// all its counters are zero.
+    pub shed: bool,
     /// Queries executed.
     pub queries: usize,
     /// Result pages requested / served from the shared cache.
@@ -168,12 +223,42 @@ impl SessionReport {
     }
 }
 
+/// One tenant's aggregate slice of a multi-session run: the fairness
+/// accounting the M:N scheduler's per-tenant admission is judged by.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub tenant: usize,
+    /// Sessions billed to this tenant (including shed ones).
+    pub sessions: usize,
+    /// Sessions of this tenant shed by admission control.
+    pub shed: usize,
+    /// Queries executed across this tenant's sessions.
+    pub queries: usize,
+    /// Result pages requested by this tenant.
+    pub pages_total: u64,
+    /// Result pages served from the shared cache.
+    pub pages_hit: u64,
+    /// Residual latency percentiles across this tenant's queries, µs.
+    pub residual: LatencyPercentiles,
+}
+
+impl TenantReport {
+    /// This tenant's cache-hit rate over result pages.
+    pub fn hit_rate(&self) -> f64 {
+        hit_ratio(self.pages_hit, self.pages_total)
+    }
+}
+
 /// Aggregate + per-session results of one multi-session run.
 #[derive(Debug, Clone)]
 pub struct MultiSessionReport {
     /// Per-session slices, ordered by session id regardless of which
     /// thread finished first (order-independent accounting).
     pub sessions: Vec<SessionReport>,
+    /// Per-tenant aggregates, ordered by tenant id. Always populated;
+    /// single-tenant fleets get one row covering everything.
+    pub tenants: Vec<TenantReport>,
     /// Shared-cache counters for the whole run.
     pub cache: CacheStats,
     /// Total simulated time the shared disk spent busy, µs — the
@@ -181,24 +266,39 @@ pub struct MultiSessionReport {
     pub disk_busy_us: f64,
     /// Residual latency percentiles across *all* sessions' queries, µs.
     pub residual: LatencyPercentiles,
+    /// M:N scheduler counters; `None` for the other schedules. Never part
+    /// of [`MultiSessionReport::render`], so width-1 work-stealing renders
+    /// byte-identically to round-robin.
+    pub scheduler: Option<SchedulerReport>,
 }
 
 impl MultiSessionReport {
     fn assemble(
         sessions: Vec<Session>,
+        shed: Vec<bool>,
         cache: CacheStats,
         disk_busy_us: f64,
+        scheduler: Option<SchedulerReport>,
     ) -> MultiSessionReport {
         let mut all_residuals: Vec<f64> = Vec::new();
+        let mut per_tenant: Vec<(usize, Vec<f64>)> = Vec::new();
         let mut reports: Vec<SessionReport> = sessions
             .into_iter()
-            .map(|session| {
+            .zip(shed)
+            .map(|(session, shed)| {
                 let graph_cache = session.graph_cache_counters();
+                let tenant = session.tenant();
                 let (id, trace) = session.into_trace();
                 let residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
                 all_residuals.extend_from_slice(&residuals);
+                match per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
+                    Some((_, rs)) => rs.extend_from_slice(&residuals),
+                    None => per_tenant.push((tenant, residuals.clone())),
+                }
                 SessionReport {
                     id,
+                    tenant,
+                    shed,
                     queries: trace.queries.len(),
                     pages_total: trace.io.result_pages_total(),
                     pages_hit: trace.io.result_pages_cache,
@@ -209,11 +309,29 @@ impl MultiSessionReport {
             })
             .collect();
         reports.sort_by_key(|r| r.id);
+        per_tenant.sort_by_key(|(t, _)| *t);
+        let tenants = per_tenant
+            .into_iter()
+            .map(|(tenant, residuals)| {
+                let mine = reports.iter().filter(|s| s.tenant == tenant);
+                TenantReport {
+                    tenant,
+                    sessions: mine.clone().count(),
+                    shed: mine.clone().filter(|s| s.shed).count(),
+                    queries: mine.clone().map(|s| s.queries).sum(),
+                    pages_total: mine.clone().map(|s| s.pages_total).sum(),
+                    pages_hit: mine.map(|s| s.pages_hit).sum(),
+                    residual: percentiles(&residuals),
+                }
+            })
+            .collect();
         MultiSessionReport {
             sessions: reports,
+            tenants,
             cache,
             disk_busy_us,
             residual: percentiles(&all_residuals),
+            scheduler,
         }
     }
 
@@ -294,6 +412,24 @@ impl MultiSessionReport {
             self.cache.evictions,
             self.disk_busy_us / 1_000.0,
         );
+        // Per-tenant fairness table — only when the fleet actually spans
+        // tenants (single-tenant runs keep the historical layout, which
+        // the byte-identity determinism tests compare).
+        if self.tenants.len() > 1 {
+            let mut tt = Table::new(["tenant", "sessions", "shed", "queries", "hit %", "p95 ms"]);
+            for t in &self.tenants {
+                tt.row([
+                    format!("t{}", t.tenant),
+                    t.sessions.to_string(),
+                    t.shed.to_string(),
+                    t.queries.to_string(),
+                    pct_or_na(t.hit_rate(), t.pages_total),
+                    ms(t.residual.p95),
+                ]);
+            }
+            out.push_str(&tt.render());
+            out.push('\n');
+        }
         // Incremental graph-cache behavior (PR 4), per session and
         // aggregate — only when at least one prefetcher keeps the cache.
         if let Some(total) = self.graph_cache_total() {
@@ -305,6 +441,16 @@ impl MultiSessionReport {
             out.push_str(&format!("graph builds all: {}\n", graph_cache_summary(&total)));
         }
         out
+    }
+
+    /// Sessions shed by admission control (0 outside work-stealing runs).
+    pub fn total_shed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.shed).count()
+    }
+
+    /// One-line scheduler summary, or `None` outside work-stealing runs.
+    pub fn scheduler_summary(&self) -> Option<String> {
+        self.scheduler.as_ref().map(SchedulerReport::summary)
     }
 }
 
@@ -386,7 +532,12 @@ mod tests {
         let objs = dataset();
         let tree = RTree::bulk_load_with_capacity(&objs, 8);
         let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
-        for schedule in [Schedule::RoundRobin, Schedule::Threaded] {
+        for schedule in [
+            Schedule::RoundRobin,
+            Schedule::Threaded,
+            Schedule::WorkStealing { workers: 1 },
+            Schedule::WorkStealing { workers: 3 },
+        ] {
             let engine =
                 MultiSessionExecutor::new(MultiSessionConfig { schedule, ..Default::default() });
             let sessions = vec![
@@ -395,24 +546,57 @@ mod tests {
                 Session::new(2, Box::new(NoPrefetch), Vec::new()),
             ];
             let report = engine.run(&ctx, sessions);
-            assert_eq!(report.sessions[0].queries, 7);
-            assert_eq!(report.sessions[1].queries, 2);
-            assert_eq!(report.sessions[2].queries, 0);
+            assert_eq!(report.sessions[0].queries, 7, "{schedule:?}");
+            assert_eq!(report.sessions[1].queries, 2, "{schedule:?}");
+            assert_eq!(report.sessions[2].queries, 0, "{schedule:?}");
         }
     }
 
     #[test]
-    fn empty_session_list_is_fine() {
+    fn empty_session_list_assembles_the_same_report_everywhere() {
+        // Regression: `Schedule::Threaded` used to fall through a silent
+        // `=> {}` arm for empty fleets; all schedules must reach the same
+        // assembled (empty) report.
         let objs = dataset();
         let tree = RTree::bulk_load_with_capacity(&objs, 8);
         let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
-        for schedule in [Schedule::RoundRobin, Schedule::Threaded] {
+        let reference =
+            MultiSessionExecutor::new(MultiSessionConfig::default()).run(&ctx, Vec::new()).render();
+        for schedule in
+            [Schedule::RoundRobin, Schedule::Threaded, Schedule::WorkStealing { workers: 2 }]
+        {
             let engine =
                 MultiSessionExecutor::new(MultiSessionConfig { schedule, ..Default::default() });
             let report = engine.run(&ctx, Vec::new());
-            assert!(report.sessions.is_empty());
-            assert_eq!(report.hit_rate(), 0.0);
+            assert!(report.sessions.is_empty(), "{schedule:?}");
+            assert!(report.tenants.is_empty(), "{schedule:?}");
+            assert_eq!(report.hit_rate(), 0.0, "{schedule:?}");
+            assert_eq!(report.render(), reference, "{schedule:?}");
         }
+    }
+
+    #[test]
+    fn work_stealing_runs_every_session_to_completion() {
+        let objs = dataset();
+        let tree = RTree::bulk_load_with_capacity(&objs, 8);
+        let ctx = SimContext::new(&objs, &tree, Aabb::new(Vec3::ZERO, Vec3::splat(300.0)));
+        let engine = MultiSessionExecutor::new(MultiSessionConfig {
+            schedule: Schedule::WorkStealing { workers: 4 },
+            ..Default::default()
+        });
+        let report = engine.run(&ctx, sessions(6, 5));
+        assert_eq!(report.sessions.len(), 6);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.id, i, "reports must be ordered by session id");
+            assert_eq!(s.queries, 5);
+            assert!(!s.shed);
+        }
+        let sched = report.scheduler.expect("work-stealing attaches scheduler counters");
+        assert_eq!(sched.rounds, 5);
+        assert_eq!(sched.admitted, 6);
+        assert_eq!(sched.retired, 6);
+        assert_eq!(sched.shed, 0);
+        assert!(report.scheduler_summary().unwrap().contains("rounds"));
     }
 
     #[test]
@@ -423,6 +607,8 @@ mod tests {
         let report = MultiSessionReport {
             sessions: vec![SessionReport {
                 id: 0,
+                tenant: 0,
+                shed: false,
                 queries: 0,
                 pages_total: 0,
                 pages_hit: 0,
@@ -430,9 +616,11 @@ mod tests {
                 response_us: 0.0,
                 graph_cache: Some(GraphBuildCounters::default()),
             }],
+            tenants: Vec::new(),
             cache: CacheStats::default(),
             disk_busy_us: 0.0,
             residual: LatencyPercentiles::default(),
+            scheduler: None,
         };
         let s = report.render();
         assert!(s.contains("accesses (n/a)"), "shared-cache line: {s}");

@@ -45,36 +45,75 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// between job publication and the final `remaining == 0` handshake, both
 /// of which happen while the dispatching call is still on the stack, so
 /// the pointee outlives every use.
+///
+/// Shared (`pub(crate)`) with the session scheduler, which drives the same
+/// epoch/condvar crew machinery with a blocking dispatch instead of the
+/// pool's inline-serial fallback (see `scheduler.rs`).
 #[derive(Clone, Copy)]
-struct Job(*const (dyn Fn(usize) + Sync));
+pub(crate) struct Job(pub(crate) *const (dyn Fn(usize) + Sync));
+
+impl Job {
+    /// Erases the borrow lifetime of `f` so workers can hold it. The
+    /// caller must keep `f` alive until every participating worker has
+    /// finished its part (the `remaining == 0` join handshake).
+    pub(crate) fn erase<'f>(f: &'f (dyn Fn(usize) + Sync)) -> Job {
+        Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'f),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f)
+        })
+    }
+}
 
 // SAFETY: the pointee is `Sync` (asserted by the constructor's bound) and
 // the dispatch protocol bounds its lifetime as described above.
 unsafe impl Send for Job {}
 
-struct PoolState {
+pub(crate) struct PoolState {
     /// Monotone job counter; a worker runs a job exactly once by
     /// remembering the last epoch it served.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// The published job, `None` between dispatches.
-    job: Option<Job>,
+    pub(crate) job: Option<Job>,
     /// Worker ids `1..=active` participate in the current epoch.
-    active: usize,
+    pub(crate) active: usize,
     /// Participating workers that have not finished their part yet.
-    remaining: usize,
+    pub(crate) remaining: usize,
     /// First panic payload caught on a worker this epoch; the dispatcher
     /// re-raises it after the join.
-    panic: Option<Box<dyn Any + Send>>,
+    pub(crate) panic: Option<Box<dyn Any + Send>>,
     /// Set by `Drop`; workers exit their loop when they observe it.
-    shutdown: bool,
+    pub(crate) shutdown: bool,
 }
 
-struct PoolShared {
-    state: Mutex<PoolState>,
+pub(crate) struct PoolShared {
+    pub(crate) state: Mutex<PoolState>,
     /// Workers sleep here for the next epoch.
-    work_cv: Condvar,
+    pub(crate) work_cv: Condvar,
     /// The dispatcher sleeps here for `remaining == 0`.
-    done_cv: Condvar,
+    pub(crate) done_cv: Condvar,
+}
+
+impl PoolShared {
+    /// A fresh crew-state block, leaked to `'static` so an exiting worker
+    /// never dangles (the pool and the session scheduler both keep their
+    /// crews alive this way; the allocation is a few hundred bytes per
+    /// crew for the life of the process).
+    pub(crate) fn leak_new() -> &'static PoolShared {
+        Box::leak(Box::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }))
+    }
 }
 
 /// A persistent fork-join pool; see the module docs. One process-wide
@@ -107,19 +146,12 @@ impl WorkerPool {
     /// allocation is leaked by design so an exiting worker never
     /// dangles; the global pool's workers live for the process).
     pub fn new(max_workers: usize) -> WorkerPool {
-        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                active: 0,
-                remaining: 0,
-                panic: None,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-        }));
-        WorkerPool { shared, dispatch: Mutex::new(()), spawned: Mutex::new(0), max_workers }
+        WorkerPool {
+            shared: PoolShared::leak_new(),
+            dispatch: Mutex::new(()),
+            spawned: Mutex::new(0),
+            max_workers,
+        }
     }
 
     /// The process-wide pool, sized to [`default_parallelism`]` - 1`
@@ -147,7 +179,7 @@ impl WorkerPool {
     /// the closure outlives all uses and the pool stays usable.
     ///
     /// Performs no heap allocation once the workers are spawned.
-    pub fn run<'f>(&self, parts: usize, f: &'f (dyn Fn(usize) + Sync)) {
+    pub fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
         if parts <= 1 {
             if parts == 1 {
                 f(0);
@@ -173,12 +205,7 @@ impl WorkerPool {
         // Erase the borrow lifetime for the workers; the join handshake
         // below keeps the pointee alive across every dereference (see
         // `Job`).
-        let job = Job(unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(usize) + Sync + 'f),
-                *const (dyn Fn(usize) + Sync + 'static),
-            >(f)
-        });
+        let job = Job::erase(f);
         {
             let mut state = self.shared.state.lock().unwrap();
             state.job = Some(job);
@@ -247,7 +274,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &'static PoolShared, id: usize) {
+pub(crate) fn worker_loop(shared: &'static PoolShared, id: usize) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
@@ -453,6 +480,17 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn default_parallelism_reads_the_environment_once() {
+        // Hot-path dispatch must never touch the env: the first call pins
+        // the value for the process, later env changes are invisible.
+        let first = default_parallelism();
+        std::env::set_var("SCOUT_THREADS", "9731");
+        assert_eq!(default_parallelism(), first);
+        std::env::remove_var("SCOUT_THREADS");
+        assert_eq!(default_parallelism(), first);
     }
 
     #[test]

@@ -28,6 +28,10 @@ use scout_storage::{DiskModel, PageCache, SharedClock};
 /// One client: a prefetcher, a query stream, a disk handle and a trace.
 pub struct Session {
     id: usize,
+    /// Tenant (organization/user group) this session bills to. The M:N
+    /// scheduler admits round-robin across tenants and reports per-tenant
+    /// latency; the other schedules ignore it.
+    tenant: usize,
     prefetcher: Box<dyn Prefetcher>,
     regions: Vec<QueryRegion>,
     next: usize,
@@ -48,6 +52,7 @@ impl Session {
     pub fn new(id: usize, prefetcher: Box<dyn Prefetcher>, regions: Vec<QueryRegion>) -> Session {
         Session {
             id,
+            tenant: 0,
             prefetcher,
             regions,
             next: 0,
@@ -62,6 +67,18 @@ impl Session {
     /// order in threaded runs).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Assigns this session to a tenant (default 0). Builder-style so
+    /// fleet constructors can chain it.
+    pub fn with_tenant(mut self, tenant: usize) -> Session {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The tenant this session bills to.
+    pub fn tenant(&self) -> usize {
+        self.tenant
     }
 
     /// Number of queries in this session's stream.

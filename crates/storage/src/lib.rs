@@ -15,6 +15,7 @@ pub mod page;
 pub mod page_cache;
 pub mod sharded;
 pub mod stats;
+pub mod thrash;
 
 pub use cache::PrefetchCache;
 pub use disk::{DiskModel, DiskProfile, SharedClock, SimClock};
@@ -22,3 +23,4 @@ pub use page::{Page, PageId, PageLayout};
 pub use page_cache::{CacheStats, PageCache};
 pub use sharded::ShardedCache;
 pub use stats::{hit_ratio, IoStats};
+pub use thrash::ThrashMonitor;

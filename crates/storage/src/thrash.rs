@@ -1,0 +1,204 @@
+//! Cache-thrash signals for admission control.
+//!
+//! The multi-session scheduler needs to know when the shared
+//! [`ShardedCache`](crate::ShardedCache) is churning instead of working:
+//! admitting more sessions into a cache that evicts pages as fast as it
+//! inserts them only lengthens every queue. A [`ThrashMonitor`] watches a
+//! stream of [`CacheStats`] snapshots and keeps two exponentially weighted
+//! moving averages over the *deltas* between snapshots:
+//!
+//! * the **hit ratio** of accesses in each window, and
+//! * the **eviction rate** — evictions per insertion in each window.
+//!
+//! "Thrashing" is the conjunction of the two: a low hit ratio alone also
+//! describes a cold cache warming up, and a nonzero eviction rate alone
+//! also describes healthy steady-state turnover with a high hit ratio.
+//! Only *low hits and high churn together* mean additional load cannot be
+//! absorbed.
+//!
+//! All inputs are monotone counters, so the monitor is a pure function of
+//! the snapshot sequence — deterministic for deterministic runs, which is
+//! what lets the scheduler's admission decisions stay reproducible.
+
+use crate::page_cache::CacheStats;
+
+/// EWMA-based thrash detector over [`CacheStats`] snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct ThrashMonitor {
+    alpha: f64,
+    last_hits: u64,
+    last_misses: u64,
+    last_insertions: u64,
+    last_evictions: u64,
+    hit_ewma: f64,
+    eviction_ewma: f64,
+    samples: u64,
+}
+
+impl ThrashMonitor {
+    /// A monitor smoothing with factor `alpha` in `(0, 1]` (the weight of
+    /// the newest window; 1.0 means no smoothing at all).
+    pub fn new(alpha: f64) -> ThrashMonitor {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1], got {alpha}");
+        ThrashMonitor {
+            alpha,
+            last_hits: 0,
+            last_misses: 0,
+            last_insertions: 0,
+            last_evictions: 0,
+            // Optimistic priors: an unobserved cache is not a thrashing
+            // one, so admission control never throttles a cold start.
+            hit_ewma: 1.0,
+            eviction_ewma: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Feeds the next snapshot. Only the delta since the previous call
+    /// contributes; windows with no accesses (or no insertions) leave the
+    /// corresponding average untouched rather than diluting it with 0/0.
+    /// Counters that went backwards (the cache was `reset_stats` mid-run)
+    /// are treated as an empty window, not a panic.
+    pub fn observe(&mut self, stats: &CacheStats) {
+        let d_hits = stats.hits.saturating_sub(self.last_hits);
+        let d_misses = stats.misses.saturating_sub(self.last_misses);
+        let d_ins = stats.insertions.saturating_sub(self.last_insertions);
+        let d_ev = stats.evictions.saturating_sub(self.last_evictions);
+        let d_acc = d_hits + d_misses;
+        if d_acc > 0 {
+            let window = d_hits as f64 / d_acc as f64;
+            self.hit_ewma += self.alpha * (window - self.hit_ewma);
+            self.samples += 1;
+        }
+        if d_ins > 0 {
+            let window = d_ev as f64 / d_ins as f64;
+            self.eviction_ewma += self.alpha * (window - self.eviction_ewma);
+        }
+        self.last_hits = stats.hits;
+        self.last_misses = stats.misses;
+        self.last_insertions = stats.insertions;
+        self.last_evictions = stats.evictions;
+    }
+
+    /// Smoothed hit ratio of recent access windows (1.0 before any
+    /// accesses were observed).
+    pub fn hit_ewma(&self) -> f64 {
+        self.hit_ewma
+    }
+
+    /// Smoothed evictions-per-insertion of recent insertion windows (0.0
+    /// before any insertions were observed).
+    pub fn eviction_ewma(&self) -> f64 {
+        self.eviction_ewma
+    }
+
+    /// Number of non-empty access windows observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// True when the cache looks thrashed: the hit EWMA fell below
+    /// `hit_floor` *and* the eviction EWMA rose above `eviction_ceiling`.
+    /// Never true before the first non-empty window, whatever the
+    /// thresholds.
+    pub fn is_thrashing(&self, hit_floor: f64, eviction_ceiling: f64) -> bool {
+        self.samples > 0 && self.hit_ewma < hit_floor && self.eviction_ewma > eviction_ceiling
+    }
+}
+
+impl Default for ThrashMonitor {
+    /// A monitor with a moderate smoothing factor (0.25): reacts within a
+    /// few windows without flapping on a single bad one.
+    fn default() -> ThrashMonitor {
+        ThrashMonitor::new(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(hits: u64, misses: u64, insertions: u64, evictions: u64) -> CacheStats {
+        CacheStats { hits, misses, insertions, evictions, ..CacheStats::default() }
+    }
+
+    #[test]
+    fn cold_monitor_is_optimistic() {
+        let m = ThrashMonitor::default();
+        assert_eq!(m.hit_ewma(), 1.0);
+        assert_eq!(m.eviction_ewma(), 0.0);
+        assert_eq!(m.samples(), 0);
+        // Even absurd thresholds cannot call an unobserved cache thrashed.
+        assert!(!m.is_thrashing(2.0, -1.0));
+    }
+
+    #[test]
+    fn healthy_stream_never_thrashes() {
+        let mut m = ThrashMonitor::new(0.5);
+        let mut s = CacheStats::default();
+        for _ in 0..10 {
+            s.hits += 90;
+            s.misses += 10;
+            s.insertions += 10;
+            m.observe(&s);
+        }
+        assert!(m.hit_ewma() > 0.8, "hit ewma {}", m.hit_ewma());
+        assert_eq!(m.eviction_ewma(), 0.0);
+        assert!(!m.is_thrashing(0.5, 0.5));
+    }
+
+    #[test]
+    fn churn_with_low_hits_thrashes_and_recovers() {
+        let mut m = ThrashMonitor::new(0.5);
+        let mut s = CacheStats::default();
+        for _ in 0..8 {
+            s.hits += 5;
+            s.misses += 95;
+            s.insertions += 95;
+            s.evictions += 95;
+            m.observe(&s);
+        }
+        assert!(m.is_thrashing(0.5, 0.5), "hit {} ev {}", m.hit_ewma(), m.eviction_ewma());
+        // Pressure lifts: hits recover, evictions stop; the EWMAs follow.
+        for _ in 0..8 {
+            s.hits += 95;
+            s.misses += 5;
+            s.insertions += 5;
+            m.observe(&s);
+        }
+        assert!(!m.is_thrashing(0.5, 0.5), "hit {} ev {}", m.hit_ewma(), m.eviction_ewma());
+    }
+
+    #[test]
+    fn empty_windows_do_not_dilute() {
+        let mut m = ThrashMonitor::new(0.5);
+        m.observe(&snap(50, 50, 10, 10));
+        let (h, e) = (m.hit_ewma(), m.eviction_ewma());
+        // No activity between snapshots: averages must hold steady.
+        m.observe(&snap(50, 50, 10, 10));
+        m.observe(&snap(50, 50, 10, 10));
+        assert_eq!(m.hit_ewma(), h);
+        assert_eq!(m.eviction_ewma(), e);
+        assert_eq!(m.samples(), 1);
+    }
+
+    #[test]
+    fn counter_reset_is_an_empty_window() {
+        let mut m = ThrashMonitor::new(0.5);
+        m.observe(&snap(100, 100, 50, 25));
+        let (h, e) = (m.hit_ewma(), m.eviction_ewma());
+        // reset_stats mid-run: counters go backwards; must not panic or
+        // skew, and the monitor re-anchors on the new baseline.
+        m.observe(&snap(0, 0, 0, 0));
+        assert_eq!(m.hit_ewma(), h);
+        assert_eq!(m.eviction_ewma(), e);
+        m.observe(&snap(10, 0, 0, 0));
+        assert!(m.hit_ewma() > h);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn zero_alpha_rejected() {
+        let _ = ThrashMonitor::new(0.0);
+    }
+}

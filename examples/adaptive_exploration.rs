@@ -73,6 +73,7 @@ fn main() {
         exec,
         shards: 8,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let sessions = streams
         .iter()

@@ -49,6 +49,7 @@ fn main() {
         exec: private_exec,
         shards: 1,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let private: Vec<MultiSessionReport> = streams
         .iter()
@@ -74,6 +75,7 @@ fn main() {
         exec,
         shards: 8,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let rr = engine.run(&ctx, sessions(&streams));
     println!(
@@ -87,6 +89,7 @@ fn main() {
         exec,
         shards: 8,
         schedule: Schedule::Threaded,
+        ..Default::default()
     });
     let th = engine.run(&ctx, sessions(&streams));
     println!(
@@ -103,6 +106,7 @@ fn main() {
         exec,
         shards: 8,
         schedule: Schedule::RoundRobin,
+        ..Default::default()
     });
     let pair = engine.run(
         &ctx,

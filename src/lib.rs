@@ -69,8 +69,9 @@ pub mod prelude {
     };
     pub use scout_sim::{
         evaluate, percentiles, region_lists, run_parallel, run_sequence, run_sequences,
-        ExecutorConfig, LatencyPercentiles, MultiSessionConfig, MultiSessionExecutor,
-        MultiSessionReport, NoPrefetch, Prefetcher, Schedule, Session, SessionReport, SimContext,
+        AdmissionControl, ExecutorConfig, LatencyPercentiles, MultiSessionConfig,
+        MultiSessionExecutor, MultiSessionReport, NoPrefetch, Prefetcher, Schedule,
+        SchedulerReport, Session, SessionReport, SessionScheduler, SimContext, TenantReport,
         TestBed,
     };
     pub use scout_storage::{

@@ -1,6 +1,8 @@
 //! Acceptance tests of the multi-session engine (ISSUE 2): round-robin
 //! determinism, round-robin vs. threaded accounting equivalence, and
-//! cross-session cache sharing.
+//! cross-session cache sharing. Extended for the M:N work-stealing
+//! scheduler (ISSUE 7): width-1 byte-identity with round-robin, totals
+//! equality at every width, admission control, and fleet edge cases.
 
 use scout::prelude::*;
 use scout_synth::{generate_sequences, SequenceParams};
@@ -43,6 +45,7 @@ fn ample_config(bed: &TestBed, shards: usize, schedule: Schedule) -> MultiSessio
         },
         shards,
         schedule,
+        admission: AdmissionControl::unlimited(),
     }
 }
 
@@ -159,4 +162,295 @@ fn warm_cache_rerun_improves_and_resets_stats() {
         warm.cache.insertions,
         cold.cache.insertions
     );
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 7: the M:N work-stealing scheduler
+// ---------------------------------------------------------------------------
+
+#[test]
+fn work_stealing_totals_match_round_robin_at_every_width() {
+    let (bed, streams) = bed_and_streams(8);
+    let ctx = bed.ctx_rtree();
+    let rr = MultiSessionExecutor::new(ample_config(&bed, 8, Schedule::RoundRobin))
+        .run(&ctx, scout_sessions(&streams));
+    assert_eq!(rr.cache.evictions, 0, "precondition violated: round-robin run evicted");
+
+    for workers in [1, 2, 4, 8] {
+        let ws =
+            MultiSessionExecutor::new(ample_config(&bed, 8, Schedule::WorkStealing { workers }))
+                .run(&ctx, scout_sessions(&streams));
+        assert_eq!(ws.cache.evictions, 0, "precondition violated: width-{workers} run evicted");
+        assert_eq!(ws.total_pages(), rr.total_pages(), "width {workers}");
+        assert_eq!(
+            ws.total_pages_hit(),
+            rr.total_pages_hit(),
+            "M:N width {workers} must hit the same total pages as round-robin"
+        );
+        for (a, b) in rr.sessions.iter().zip(&ws.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.pages_hit, b.pages_hit,
+                "session {} hit accounting diverged at width {workers}",
+                a.id
+            );
+        }
+        let sched = ws.scheduler.expect("work-stealing runs attach scheduler counters");
+        assert_eq!(sched.retired, 8, "width {workers}");
+        assert_eq!(sched.shed, 0, "width {workers}");
+    }
+}
+
+#[test]
+fn work_stealing_width1_is_byte_identical_to_round_robin() {
+    // The width-1 oracle holds even under eviction pressure — a cache far
+    // smaller than the dataset — because it runs the exact round-robin
+    // interleaving, not merely an equivalent one.
+    let (bed, streams) = bed_and_streams(5);
+    let ctx = bed.ctx_rtree();
+    let mut pressure = ample_config(&bed, 8, Schedule::RoundRobin);
+    pressure.exec.window_ratio = 1.6;
+    pressure.exec.cache_pages = 24;
+    for config in [ample_config(&bed, 8, Schedule::RoundRobin), pressure] {
+        let rr = MultiSessionExecutor::new(config).run(&ctx, scout_sessions(&streams));
+        let mut ws_config = config;
+        ws_config.schedule = Schedule::WorkStealing { workers: 1 };
+        let ws = MultiSessionExecutor::new(ws_config).run(&ctx, scout_sessions(&streams));
+        assert_eq!(
+            rr.render(),
+            ws.render(),
+            "width-1 M:N diverged from round-robin (cache_pages = {})",
+            config.exec.cache_pages
+        );
+        assert!((rr.disk_busy_us - ws.disk_busy_us).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn zero_query_fleet_terminates_instantly() {
+    let (bed, _) = bed_and_streams(1);
+    let ctx = bed.ctx_rtree();
+    for schedule in [
+        Schedule::RoundRobin,
+        Schedule::Threaded,
+        Schedule::WorkStealing { workers: 1 },
+        Schedule::WorkStealing { workers: 4 },
+    ] {
+        let engine = MultiSessionExecutor::new(ample_config(&bed, 8, schedule));
+        let sessions: Vec<Session> =
+            (0..5).map(|id| Session::new(id, Box::new(NoPrefetch), Vec::new())).collect();
+        let report = engine.run(&ctx, sessions);
+        assert_eq!(report.sessions.len(), 5, "{schedule:?}");
+        assert!(report.sessions.iter().all(|s| s.queries == 0), "{schedule:?}");
+        assert_eq!(report.total_pages(), 0, "{schedule:?}");
+    }
+}
+
+#[test]
+fn one_session_with_a_hundred_thousand_queries() {
+    // Stresses round count, not work per query: a 40-point line scanned
+    // with single-object queries, so each of the 100k rounds is a cheap
+    // index probe plus one cached page access. The scheduler must neither
+    // overflow a queue nor slow down asymptotically.
+    let objects: Vec<SpatialObject> = (0..40)
+        .map(|i| {
+            SpatialObject::new(
+                scout::geometry::ObjectId(i),
+                scout::geometry::StructureId(0),
+                Shape::Point(Vec3::new(10.0 * i as f64, 0.5, 0.5)),
+            )
+        })
+        .collect();
+    let dataset = Dataset {
+        domain: Domain::Neuron,
+        bounds: Aabb::new(Vec3::ZERO, Vec3::new(400.0, 1.0, 1.0)),
+        objects,
+        guide: scout_synth::GuideGraph::new(),
+        adjacency: None,
+    };
+    let bed = TestBed::with_page_capacity(dataset, 16);
+    let ctx = bed.ctx_rtree();
+    let regions: Vec<QueryRegion> = (0..100_000)
+        .map(|i| QueryRegion::new(Vec3::new(10.0 * (i % 40) as f64, 0.5, 0.5), 8.0, Aspect::Cube))
+        .collect();
+    for workers in [1, 2] {
+        let engine =
+            MultiSessionExecutor::new(ample_config(&bed, 4, Schedule::WorkStealing { workers }));
+        let report = engine.run(&ctx, vec![Session::new(0, Box::new(NoPrefetch), regions.clone())]);
+        assert_eq!(report.sessions[0].queries, 100_000, "width {workers}");
+        let sched = report.scheduler.unwrap();
+        assert_eq!(sched.rounds, 100_000, "width {workers}");
+        assert_eq!(sched.retired, 1, "width {workers}");
+    }
+}
+
+#[test]
+fn unequal_query_counts_park_instead_of_spinning() {
+    let (bed, streams) = bed_and_streams(2);
+    let ctx = bed.ctx_rtree();
+    let mut per_width: Vec<(u64, u64, u64)> = Vec::new();
+    for workers in [1, 2, 4] {
+        let engine =
+            MultiSessionExecutor::new(ample_config(&bed, 8, Schedule::WorkStealing { workers }));
+        let sessions = vec![
+            Session::new(0, Box::new(NoPrefetch), streams[0].clone()),
+            Session::new(1, Box::new(NoPrefetch), streams[1][..2].to_vec()),
+            Session::new(2, Box::new(NoPrefetch), Vec::new()),
+        ];
+        let report = engine.run(&ctx, sessions);
+        assert_eq!(report.sessions[0].queries, 8);
+        assert_eq!(report.sessions[1].queries, 2);
+        assert_eq!(report.sessions[2].queries, 0);
+        let sched = report.scheduler.unwrap();
+        let total_queries = 10u64;
+        assert!(
+            sched.parks <= 2 * total_queries,
+            "parks must track work, not rounds × fleet size: {} at width {workers}",
+            sched.parks
+        );
+        assert_eq!(sched.retired, 3, "width {workers}");
+        assert_eq!(sched.rounds, 8, "width {workers}");
+        per_width.push((sched.rounds, sched.parks, sched.retired));
+    }
+    // Park accounting is schedule-invariant: every width does the same
+    // serves and carries the same survivors.
+    assert!(per_width.windows(2).all(|w| w[0] == w[1]), "{per_width:?}");
+}
+
+/// A prefetcher that panics while observing its `detonate_at`-th query —
+/// the PR 6 panic-propagation harness, aimed at the session scheduler.
+struct Detonator {
+    seen: usize,
+    detonate_at: usize,
+}
+
+impl Prefetcher for Detonator {
+    fn name(&self) -> String {
+        "Detonator".to_string()
+    }
+    fn observe(
+        &mut self,
+        _ctx: &SimContext<'_>,
+        _region: &QueryRegion,
+        _result: &scout::index::QueryResult,
+    ) -> scout::sim::PredictionStats {
+        self.seen += 1;
+        assert!(self.seen < self.detonate_at, "session detonated on schedule");
+        scout::sim::PredictionStats::default()
+    }
+    fn plan(&mut self, _ctx: &SimContext<'_>) -> scout::sim::PrefetchPlan {
+        scout::sim::PrefetchPlan::empty()
+    }
+    fn reset(&mut self) {
+        self.seen = 0;
+    }
+}
+
+#[test]
+fn panicking_session_does_not_deadlock_the_fleet() {
+    let (bed, streams) = bed_and_streams(4);
+    let ctx = bed.ctx_rtree();
+    for workers in [1, 2, 4] {
+        let engine =
+            MultiSessionExecutor::new(ample_config(&bed, 8, Schedule::WorkStealing { workers }));
+        let mut sessions = scout_sessions(&streams);
+        sessions[2] =
+            Session::new(2, Box::new(Detonator { seen: 0, detonate_at: 3 }), streams[2].clone());
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&ctx, sessions)));
+        let payload = caught.expect_err(&format!("width {workers} swallowed the session panic"));
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a message");
+        assert!(message.contains("detonated"), "width {workers}: {message}");
+        // The crew survives: the same schedule must run a healthy fleet
+        // to completion immediately afterwards.
+        let report = engine.run(&ctx, scout_sessions(&streams));
+        assert_eq!(report.sessions.len(), 4, "width {workers}");
+        assert!(report.sessions.iter().all(|s| s.queries == 8), "width {workers}");
+    }
+}
+
+#[test]
+fn bounded_admission_staggers_but_completes_everyone() {
+    let (bed, streams) = bed_and_streams(6);
+    let ctx = bed.ctx_rtree();
+    for workers in [1, 3] {
+        let mut config = ample_config(&bed, 8, Schedule::WorkStealing { workers });
+        config.admission = AdmissionControl::bounded(2);
+        let report = MultiSessionExecutor::new(config).run(
+            &ctx,
+            scout_sessions(&streams)
+                .into_iter()
+                .map(|s| {
+                    let t = s.id() % 2;
+                    s.with_tenant(t)
+                })
+                .collect(),
+        );
+        assert!(report.sessions.iter().all(|s| s.queries == 8), "width {workers}");
+        assert_eq!(report.total_shed(), 0, "width {workers}");
+        let sched = report.scheduler.unwrap();
+        assert_eq!(sched.admitted, 6, "width {workers}");
+        assert_eq!(sched.retired, 6, "width {workers}");
+        // 6 sessions through a 2-wide door, 8 queries each: at least three
+        // waves of rounds.
+        assert!(sched.rounds >= 24, "width {workers}: only {} rounds", sched.rounds);
+        // Two tenants, reported separately.
+        assert_eq!(report.tenants.len(), 2, "width {workers}");
+        assert!(report.tenants.iter().all(|t| t.sessions == 3), "width {workers}");
+        assert!(report.render().contains("tenant"), "width {workers}");
+    }
+}
+
+#[test]
+fn backlog_limit_sheds_the_flooding_tenant_first() {
+    let (bed, streams) = bed_and_streams(6);
+    let ctx = bed.ctx_rtree();
+    for workers in [1, 2] {
+        let mut config = ample_config(&bed, 8, Schedule::WorkStealing { workers });
+        config.admission = AdmissionControl::bounded(2).with_backlog_limit(1);
+        // Tenant 0 floods with 5 sessions; tenant 1 brings one.
+        let sessions: Vec<Session> = scout_sessions(&streams)
+            .into_iter()
+            .map(|s| {
+                let t = usize::from(s.id() == 5);
+                s.with_tenant(t)
+            })
+            .collect();
+        let report = MultiSessionExecutor::new(config).run(&ctx, sessions);
+        // 2 admitted up front + 1 queued: 3 shed, all from tenant 0.
+        assert_eq!(report.total_shed(), 3, "width {workers}");
+        let t0 = &report.tenants[0];
+        assert_eq!((t0.tenant, t0.shed), (0, 3), "width {workers}");
+        assert_eq!(report.tenants[1].shed, 0, "width {workers}");
+        for s in &report.sessions {
+            assert_eq!(s.queries == 0, s.shed, "width {workers}: session {}", s.id);
+        }
+        assert_eq!(report.scheduler.unwrap().shed, 3, "width {workers}");
+    }
+}
+
+#[test]
+fn thrash_delay_cannot_livelock_the_fleet() {
+    let (bed, streams) = bed_and_streams(4);
+    let ctx = bed.ctx_rtree();
+    for workers in [1, 2] {
+        let mut config = ample_config(&bed, 8, Schedule::WorkStealing { workers });
+        // Thresholds no real cache can satisfy: every observed window
+        // reads as thrashing, so admission is delayed at every boundary —
+        // except the starvation override, which must still drip sessions
+        // through one wave at a time.
+        config.admission = AdmissionControl::bounded(1).with_thrash_policy(2.0, -1.0);
+        let report = MultiSessionExecutor::new(config).run(&ctx, scout_sessions(&streams));
+        assert!(
+            report.sessions.iter().all(|s| s.queries == 8),
+            "width {workers}: a permanently-thrashed cache starved the backlog"
+        );
+        let sched = report.scheduler.unwrap();
+        assert_eq!(sched.admitted, 4, "width {workers}");
+        assert!(sched.delayed_rounds > 0, "width {workers}: delay policy never engaged");
+    }
 }
