@@ -1,0 +1,28 @@
+//! Graceful degradation under injected I/O faults (no counterpart figure
+//! in the paper, whose disk never fails; ISSUE 8's chaos extension).
+//!
+//! This bench target runs the sweep at a reduced scale as the compile +
+//! smoke check; the `faults` bin produces the full `BENCH_faults.json`
+//! artifact CI uploads and guards.
+
+use scout_bench::faults;
+use scout_sim::report::Table;
+
+fn main() {
+    println!("== degradation under injected faults (reduced sweep) ==\n");
+    let report = faults::run(0.35, scout_bench::seed());
+    let mut t = Table::new(["fault x", "method", "hit rate", "failed", "recovered"]);
+    for p in &report.points {
+        t.row([
+            format!("{:.1}", p.fault_scale),
+            p.method.clone(),
+            format!("{:.3}", p.hit_rate),
+            p.failed_queries.to_string(),
+            p.faults.recovered.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    assert_eq!(report.corruption_served(), 0, "a corrupt page was served");
+    assert_eq!(report.zero_fault_trace_mismatches, 0, "zero-fault runs diverged from plain runs");
+    println!("guard ok: no corruption served; zero-fault path is byte-identical");
+}

@@ -91,6 +91,9 @@ pub struct AdaptiveReport {
     pub window_ratio: f64,
     /// Prefetch-cache capacity in pages.
     pub cache_pages: usize,
+    /// Fault-injection plan of the sweep (always disabled here; recorded
+    /// so every bench artifact states its fault knobs, ISSUE 8).
+    pub faults: scout_storage::FaultPlan,
     /// One entry per dataset.
     pub datasets: Vec<DatasetAdaptive>,
 }
@@ -130,11 +133,12 @@ impl AdaptiveReport {
         // even single-threaded sweeps like this one.
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"window_ratio\": {:.2}, \"cache_pages\": {}, \
-             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {} }},\n",
+             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, {} }},\n",
             self.scale,
             self.window_ratio,
             self.cache_pages,
-            scout_sim::default_parallelism()
+            scout_sim::default_parallelism(),
+            crate::faults_json(&self.faults),
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {
@@ -278,6 +282,7 @@ pub fn run(scale: f64, seed: u64) -> AdaptiveReport {
         scale,
         window_ratio: exec.window_ratio,
         cache_pages: exec.cache_pages,
+        faults: exec.faults,
         datasets: vec![
             dataset_report("neuron", neuron, scale, &exec, seed),
             dataset_report("lung", lung, scale, &exec, seed),

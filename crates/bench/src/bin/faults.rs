@@ -1,0 +1,55 @@
+//! Emits the fault-injection degradation artifact.
+//!
+//! Runs the `fig_faults` sweep ([`scout_bench::faults`]): base fault
+//! rates × {0, 0.5, 1, 2, 4} over No Prefetching / SCOUT / Hybrid,
+//! recording hit rate, residual latency and the recovery ledger at each
+//! level. Prints the sweep table and writes `BENCH_faults.json` into the
+//! current directory (run from the repo root; CI uploads the file and
+//! fails the job when the `guard` block reports `corruption_served != 0`
+//! or `zero_fault_trace_mismatches != 0`).
+//!
+//! Run with: `cargo run -p scout-bench --bin faults --release`
+
+use scout_sim::report::Table;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let (report, json) = scout_bench::faults::run_default();
+
+    let mut t = Table::new([
+        "fault x",
+        "method",
+        "hit rate",
+        "mean ms",
+        "p95 ms",
+        "injected",
+        "recovered",
+        "dropped",
+        "failed",
+        "trips",
+    ]);
+    for p in &report.points {
+        t.row([
+            format!("{:.1}", p.fault_scale),
+            p.method.clone(),
+            format!("{:.3}", p.hit_rate),
+            format!("{:.3}", p.mean_residual_us / 1_000.0),
+            format!("{:.3}", p.p95_residual_us / 1_000.0),
+            p.faults.injected().to_string(),
+            p.faults.recovered.to_string(),
+            p.faults.dropped_prefetch.to_string(),
+            p.failed_queries.to_string(),
+            p.faults.breaker_trips.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "guard: corruption_served = {}, zero_fault_trace_mismatches = {}",
+        report.corruption_served(),
+        report.zero_fault_trace_mismatches
+    );
+    eprintln!("fault sweep in {:.1?}", t0.elapsed());
+    std::fs::write("BENCH_faults.json", json).expect("write BENCH_faults.json");
+    eprintln!("wrote BENCH_faults.json");
+}

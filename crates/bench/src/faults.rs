@@ -1,0 +1,273 @@
+//! The `fig_faults` sweep: graceful degradation under injected I/O
+//! faults (ISSUE 8).
+//!
+//! The paper's evaluation assumes a well-behaved disk; this sweep asks
+//! what prefetching is worth on a flaky one. It scales one base fault
+//! schedule (transient errors, corruption, stuck pages, stragglers) by a
+//! range of multipliers and measures, for the no-prefetching floor, plain
+//! SCOUT and the hybrid: cache-hit rate, residual latency, and the
+//! recovery ledger (retries, recoveries, dropped prefetches, failed
+//! queries, breaker trips).
+//!
+//! Two guard values, checked by CI against `BENCH_faults.json`:
+//!
+//! * `corruption_served` — pages that bypassed checksum verification,
+//!   summed over the whole sweep. Must stay 0: the engine must never
+//!   hand a corrupt page to a query.
+//! * `zero_fault_trace_mismatches` — methods whose traces with fault
+//!   injection *disabled* differ from a zero-rate *armed* run. Must stay
+//!   0: the fallible read path must collapse to the plain one, bit for
+//!   bit, when no fault fires (the PR 7 byte-identity contract).
+
+use crate::{faults_json, seed};
+use scout_core::Scout;
+use scout_geometry::QueryRegion;
+use scout_predict::HybridPrefetcher;
+use scout_sim::{
+    percentiles, region_lists, run_sequences, ExecutorConfig, NoPrefetch, Prefetcher,
+    SequenceTrace, TestBed,
+};
+use scout_storage::{FaultConfig, FaultPlan, FaultReport};
+use scout_synth::{generate_sequences, SequenceParams};
+
+/// Multipliers applied to the base fault rates (0 = clean device).
+pub const FAULT_SCALES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+/// The roster, rebuilt fresh per measurement so no prediction history
+/// leaks across fault levels.
+fn roster() -> Vec<Box<dyn Prefetcher>> {
+    vec![
+        Box::new(NoPrefetch),
+        Box::new(Scout::with_defaults()),
+        Box::new(HybridPrefetcher::with_defaults()),
+    ]
+}
+
+/// The base (1.0×) schedule: noticeably rougher than the library default
+/// so eight-query sequences see retries and drops even at 0.5×.
+fn base_config(fault_seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed: fault_seed,
+        transient_rate: 0.04,
+        corrupt_rate: 0.01,
+        stuck_rate: 0.002,
+        slow_rate: 0.02,
+        slow_multiplier: 8.0,
+    }
+}
+
+/// `base` with every rate multiplied by `factor` (multiplier and seed
+/// untouched).
+fn scaled(base: FaultConfig, factor: f64) -> FaultConfig {
+    FaultConfig {
+        transient_rate: base.transient_rate * factor,
+        corrupt_rate: base.corrupt_rate * factor,
+        stuck_rate: base.stuck_rate * factor,
+        slow_rate: base.slow_rate * factor,
+        ..base
+    }
+}
+
+/// One (fault level × method) measurement.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Multiplier applied to the base fault rates.
+    pub fault_scale: f64,
+    /// Method display name.
+    pub method: String,
+    /// Cache-hit rate over result pages.
+    pub hit_rate: f64,
+    /// Mean user-visible latency per query, µs (simulated).
+    pub mean_residual_us: f64,
+    /// 95th-percentile residual latency, µs.
+    pub p95_residual_us: f64,
+    /// Queries that surfaced an unrecoverable read error.
+    pub failed_queries: u64,
+    /// Merged fault-layer counters across the method's sequences.
+    pub faults: FaultReport,
+}
+
+/// A full `fig_faults` sweep.
+#[derive(Debug, Clone)]
+pub struct FaultsReport {
+    /// Scale factor the sweep ran at.
+    pub scale: f64,
+    /// Guided sequences per measurement.
+    pub sequences: usize,
+    /// Queries per sequence.
+    pub queries_per_sequence: usize,
+    /// The 1.0× fault plan (seed + knobs recorded in the artifact).
+    pub plan: FaultPlan,
+    /// One entry per (fault level × method), sweep order.
+    pub points: Vec<FaultPoint>,
+    /// Methods whose disabled-injection trace diverged from a zero-rate
+    /// armed run (the byte-identity guard; must stay 0).
+    pub zero_fault_trace_mismatches: u64,
+}
+
+impl FaultsReport {
+    /// Pages served past checksum verification, summed over the sweep —
+    /// the primary CI guard; must stay 0.
+    pub fn corruption_served(&self) -> u64 {
+        self.points.iter().map(|p| p.faults.corruption_served).sum()
+    }
+
+    /// Serializes the report as pretty-printed JSON (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{ \"scale\": {:.2}, \"sequences\": {}, \"queries_per_sequence\": {}, \
+             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, \
+             \"seed\": {}, \"fault_scales\": {:?}, {} }},\n",
+            self.scale,
+            self.sequences,
+            self.queries_per_sequence,
+            scout_sim::default_parallelism(),
+            seed(),
+            FAULT_SCALES,
+            faults_json(&self.plan),
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let f = &p.faults;
+            out.push_str(&format!(
+                "    {{ \"fault_scale\": {}, \"method\": \"{}\", \"hit_rate\": {:.4}, \
+                 \"mean_residual_us\": {:.1}, \"p95_residual_us\": {:.1}, \"injected\": {}, \
+                 \"retries\": {}, \"recovered\": {}, \"dropped_prefetch\": {}, \
+                 \"failed_queries\": {}, \"degraded_windows\": {}, \"breaker_trips\": {}, \
+                 \"corruption_served\": {} }}{}\n",
+                p.fault_scale,
+                p.method,
+                p.hit_rate,
+                p.mean_residual_us,
+                p.p95_residual_us,
+                f.injected(),
+                f.retries,
+                f.recovered,
+                f.dropped_prefetch,
+                p.failed_queries,
+                f.degraded_windows,
+                f.breaker_trips,
+                f.corruption_served,
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"guard\": {{\n    \"corruption_served\": {},\n    \
+             \"zero_fault_trace_mismatches\": {}\n  }}\n}}\n",
+            self.corruption_served(),
+            self.zero_fault_trace_mismatches
+        ));
+        out
+    }
+}
+
+/// True when two runs of the same workload are observably identical:
+/// same I/O ledger and, per query, the same pages and bit-identical
+/// simulated latency.
+fn traces_match(a: &[SequenceTrace], b: &[SequenceTrace]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.io == y.io
+                && x.queries.len() == y.queries.len()
+                && x.queries.iter().zip(&y.queries).all(|(p, q)| {
+                    p.pages_total == q.pages_total
+                        && p.pages_hit == q.pages_hit
+                        && p.residual_us.to_bits() == q.residual_us.to_bits()
+                })
+        })
+}
+
+fn aggregate(fault_scale: f64, method: String, traces: &[SequenceTrace]) -> FaultPoint {
+    let (mut cache, mut total) = (0u64, 0u64);
+    let mut residuals: Vec<f64> = Vec::new();
+    let mut failed = 0u64;
+    let mut faults = FaultReport::default();
+    for t in traces {
+        cache += t.io.result_pages_cache;
+        total += t.io.result_pages_total();
+        residuals.extend(t.queries.iter().map(|q| q.residual_us));
+        failed += t.failed_queries() as u64;
+        if let Some(f) = &t.faults {
+            faults.merge(f);
+        }
+    }
+    let mean = if residuals.is_empty() {
+        0.0
+    } else {
+        residuals.iter().sum::<f64>() / residuals.len() as f64
+    };
+    FaultPoint {
+        fault_scale,
+        method,
+        hit_rate: scout_storage::stats::hit_ratio(cache, total),
+        mean_residual_us: mean,
+        p95_residual_us: percentiles(&residuals).p95,
+        failed_queries: failed,
+        faults,
+    }
+}
+
+/// Runs the sweep at `scale_factor` (sequence count). Every quantity is
+/// simulated, so the report is deterministic in `seed`.
+pub fn run(scale_factor: f64, seed: u64) -> FaultsReport {
+    let dataset = crate::neuron_dataset_with_objects(20_000);
+    let bed = TestBed::with_page_capacity(dataset, 32);
+    let n_sequences = ((6.0 * scale_factor).round() as usize).clamp(2, 24);
+    let params = SequenceParams { length: 8, ..SequenceParams::sensitivity_default() };
+    let streams: Vec<Vec<QueryRegion>> =
+        region_lists(&generate_sequences(&bed.dataset, &params, n_sequences, seed));
+    let fault_seed = seed ^ 0xFA17;
+    let base = base_config(fault_seed);
+    let exec = |faults: FaultPlan| ExecutorConfig {
+        window_ratio: 1.6,
+        cache_pages: 512,
+        faults,
+        ..ExecutorConfig::default()
+    };
+    let ctx = bed.ctx_rtree();
+
+    let mut points = Vec::new();
+    for &factor in &FAULT_SCALES {
+        let config = exec(FaultPlan::injecting(scaled(base, factor)));
+        for mut method in roster() {
+            let traces = run_sequences(&ctx, method.as_mut(), &streams, &config);
+            points.push(aggregate(factor, method.name(), &traces));
+        }
+    }
+
+    // Byte-identity guard: with injection disabled the executor takes the
+    // legacy infallible path; with a zero-rate schedule *armed* it takes
+    // the fallible path end to end. Any observable difference means the
+    // fault layer taxes clean runs — the contract PR 8 must not break.
+    let disabled = exec(FaultPlan::default());
+    let armed_zero = exec(FaultPlan::injecting(FaultConfig::none(fault_seed)));
+    let mut zero_fault_trace_mismatches = 0u64;
+    for (mut a, mut b) in roster().into_iter().zip(roster()) {
+        let ta = run_sequences(&ctx, a.as_mut(), &streams, &disabled);
+        let tb = run_sequences(&ctx, b.as_mut(), &streams, &armed_zero);
+        if !traces_match(&ta, &tb) {
+            zero_fault_trace_mismatches += 1;
+        }
+    }
+
+    FaultsReport {
+        scale: scale_factor,
+        sequences: n_sequences,
+        queries_per_sequence: params.length,
+        plan: FaultPlan::injecting(base),
+        points,
+        zero_fault_trace_mismatches,
+    }
+}
+
+/// Entry point shared by the bin and the bench target: runs at the
+/// `SCOUT_BENCH_SCALE` scale and returns (report, json).
+pub fn run_default() -> (FaultsReport, String) {
+    let report = run(crate::scale(), seed());
+    let json = report.to_json();
+    (report, json)
+}

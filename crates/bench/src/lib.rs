@@ -10,8 +10,11 @@
 //! (u64, default 42) for reproducible randomness.
 
 pub mod adaptive;
+pub mod faults;
 pub mod hotpath;
 pub mod scale;
+
+use scout_storage::FaultPlan;
 
 use scout_baselines::{Ewma, HilbertPrefetch, MarkovPrefetcher, Polynomial, StraightLine};
 use scout_core::{Scout, ScoutOpt};
@@ -43,6 +46,37 @@ pub fn dataset_scale() -> f64 {
 /// Reads the global seed from `SCOUT_BENCH_SEED`.
 pub fn seed() -> u64 {
     std::env::var("SCOUT_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// JSON fragment recording a run's fault-injection knobs. Every bench
+/// artifact's `config` block embeds this (ISSUE 8), so a reader can tell
+/// a clean measurement from a chaos run — and reproduce the chaos run's
+/// exact fault schedule — from the JSON alone.
+pub fn faults_json(plan: &FaultPlan) -> String {
+    match &plan.inject {
+        None => "\"faults\": { \"enabled\": false }".to_string(),
+        Some(c) => format!(
+            "\"faults\": {{ \"enabled\": true, \"seed\": {}, \"transient_rate\": {}, \
+             \"corrupt_rate\": {}, \"stuck_rate\": {}, \"slow_rate\": {}, \
+             \"slow_multiplier\": {}, \"max_attempts\": {}, \"backoff_base_us\": {}, \
+             \"backoff_multiplier\": {}, \"jitter\": {}, \"deadline_us\": {}, \
+             \"breaker_alpha\": {}, \"breaker_threshold\": {}, \"breaker_cooldown\": {} }}",
+            c.seed,
+            c.transient_rate,
+            c.corrupt_rate,
+            c.stuck_rate,
+            c.slow_rate,
+            c.slow_multiplier,
+            plan.retry.max_attempts,
+            plan.retry.backoff_base_us,
+            plan.retry.backoff_multiplier,
+            plan.retry.jitter,
+            plan.retry.deadline_us,
+            plan.breaker.alpha,
+            plan.breaker.trip_threshold,
+            plan.breaker.cooldown_queries,
+        ),
+    }
 }
 
 /// Number of sequences per experiment, scaled (paper: 30 for Figure 11/12,

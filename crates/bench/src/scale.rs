@@ -124,6 +124,9 @@ pub struct ScaleReport {
     pub baseline: BaselinePoint,
     /// One determinism check per width, at the smallest count.
     pub guards: Vec<GuardPoint>,
+    /// Fault-injection plan of the sweep (always disabled here; recorded
+    /// so every bench artifact states its fault knobs, ISSUE 8).
+    pub faults: scout_storage::FaultPlan,
 }
 
 impl ScaleReport {
@@ -167,7 +170,7 @@ impl ScaleReport {
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"queries_per_session\": {}, \
              \"schedule\": \"work-stealing\", \"workers\": {:?}, \"max_parallelism\": {}, \
-             \"tenants\": {}, \"seed\": {} }},\n",
+             \"tenants\": {}, \"seed\": {}, {} }},\n",
             self.scale,
             self.queries_per_session,
             {
@@ -179,6 +182,7 @@ impl ScaleReport {
             self.max_parallelism,
             TENANTS,
             seed(),
+            crate::faults_json(&self.faults),
         ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
@@ -384,6 +388,7 @@ pub fn run(scale_factor: f64, seed: u64) -> ScaleReport {
         points,
         baseline,
         guards,
+        faults: pressure.faults,
     }
 }
 

@@ -154,4 +154,54 @@ fn scale_sweep_guard_holds_at_reduced_scale() {
     let json = report.to_json();
     assert!(json.contains("\"mn_vs_rr_pages_hit_mismatches\": 0"));
     assert!(json.contains("\"schedule\""), "config block must record the schedule");
+    // Every bench artifact records its fault knobs (ISSUE 8); this sweep
+    // runs with injection off.
+    assert!(json.contains("\"faults\": { \"enabled\": false }"));
+}
+
+#[test]
+fn faults_sweep_guards_hold_at_reduced_scale() {
+    // The CI guards on BENCH_faults.json, as tier-1 assertions: the
+    // engine must never serve a page past checksum verification, and a
+    // run with fault injection disabled must be observably identical to a
+    // zero-rate armed run (the byte-identity contract of ISSUE 8). All
+    // quantities are simulated, so both checks are deterministic.
+    let report = scout_bench::faults::run(0.35, 42);
+    assert_eq!(report.points.len(), scout_bench::faults::FAULT_SCALES.len() * 3);
+    assert_eq!(report.corruption_served(), 0, "corrupt page served:\n{}", report.to_json());
+    assert_eq!(
+        report.zero_fault_trace_mismatches,
+        0,
+        "fault layer taxed a clean run:\n{}",
+        report.to_json()
+    );
+    for p in &report.points {
+        assert!((0.0..=1.0).contains(&p.hit_rate), "{}: bad hit rate {}", p.method, p.hit_rate);
+        if p.fault_scale == 0.0 {
+            assert_eq!(p.faults.injected(), 0, "{}: clean level injected faults", p.method);
+            assert_eq!(p.failed_queries, 0, "{}: clean level failed queries", p.method);
+        } else {
+            assert!(
+                p.faults.injected() > 0,
+                "{}: level {} injected nothing",
+                p.method,
+                p.fault_scale
+            );
+        }
+    }
+    // Rough weather must actually exercise the recovery ledger somewhere.
+    let worst: u64 = report
+        .points
+        .iter()
+        .filter(|p| p.fault_scale >= 2.0)
+        .map(|p| p.faults.retries + p.faults.dropped_prefetch)
+        .sum();
+    assert!(worst > 0, "heavy fault levels never retried or dropped anything");
+    // The JSON artifact carries the guard block and the fault knobs CI
+    // and readers grep for.
+    let json = report.to_json();
+    assert!(json.contains("\"corruption_served\": 0"));
+    assert!(json.contains("\"zero_fault_trace_mismatches\": 0"));
+    assert!(json.contains("\"enabled\": true"));
+    assert!(json.contains("\"transient_rate\""));
 }

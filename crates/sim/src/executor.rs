@@ -15,7 +15,10 @@ use crate::costs::CpuCostModel;
 use crate::prefetcher::{PredictionStats, PrefetchRequest, Prefetcher};
 use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
-use scout_storage::{DiskModel, DiskProfile, IoStats, PageCache, PrefetchCache};
+use scout_storage::{
+    CircuitBreaker, DiskModel, DiskProfile, FaultPlan, FaultReport, IoError, IoStats, PageCache,
+    PrefetchCache,
+};
 
 /// Executor configuration (one microbenchmark's environment).
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +31,10 @@ pub struct ExecutorConfig {
     pub disk: DiskProfile,
     /// CPU cost model for prediction work.
     pub costs: CpuCostModel,
+    /// Fault injection, retry and circuit-breaker policy. The default
+    /// injects nothing, keeping every path byte-identical to the
+    /// infallible executor (DESIGN.md §11).
+    pub faults: FaultPlan,
 }
 
 impl Default for ExecutorConfig {
@@ -37,6 +44,7 @@ impl Default for ExecutorConfig {
             cache_pages: 4096,
             disk: DiskProfile::default(),
             costs: CpuCostModel::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -59,6 +67,7 @@ impl ExecutorConfig {
         }
         self.disk.validate()?;
         self.costs.validate()?;
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -68,6 +77,26 @@ impl ExecutorConfig {
         if let Err(e) = self.validate() {
             panic!("invalid ExecutorConfig: {e}");
         }
+    }
+}
+
+/// How a query's serve phase ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum ServeOutcome {
+    /// Every result page was delivered.
+    #[default]
+    Served,
+    /// A demand read failed unrecoverably (retries exhausted, deadline
+    /// spent, or a stuck page); the query surfaced the error to the user
+    /// instead of panicking. Remaining result pages were not read and the
+    /// prefetch window did not run.
+    Failed(IoError),
+}
+
+impl ServeOutcome {
+    /// True when the query failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ServeOutcome::Failed(_))
     }
 }
 
@@ -96,6 +125,9 @@ pub struct QueryTrace {
     pub gap_pages: usize,
     /// Prefetcher-reported stats.
     pub prediction: PredictionStats,
+    /// Whether the query was fully served or failed on an unrecoverable
+    /// I/O error (always `Served` when fault injection is disabled).
+    pub outcome: ServeOutcome,
 }
 
 impl QueryTrace {
@@ -112,6 +144,8 @@ pub struct SequenceTrace {
     pub queries: Vec<QueryTrace>,
     /// Aggregated I/O stats.
     pub io: IoStats,
+    /// Fault-layer counters; `None` when fault injection was disabled.
+    pub faults: Option<FaultReport>,
 }
 
 impl SequenceTrace {
@@ -139,6 +173,11 @@ impl SequenceTrace {
     /// Total result objects across all queries.
     pub fn total_result_objects(&self) -> usize {
         self.queries.iter().map(|q| q.result_objects).sum()
+    }
+
+    /// Queries that surfaced an unrecoverable I/O error.
+    pub fn failed_queries(&self) -> usize {
+        self.queries.iter().filter(|q| q.outcome.is_failed()).count()
     }
 }
 
@@ -191,19 +230,44 @@ pub(crate) fn serve_and_observe<C: PageCache>(
     // the cache (§7.1: the 4 GB cache holds prefetched data; result
     // pages stream to the user's analysis memory), so the hit rate
     // measures prediction accuracy, not incidental query overlap.
+    //
+    // Demand reads go through the retrying verified path: with fault
+    // injection disabled that is bit-for-bit a plain `read_page`; with it
+    // enabled, one per-query deadline budget spans all of the query's
+    // retries, and the first unrecoverable read fails the *query* (the
+    // remaining pages are skipped — the user got an error, not a page
+    // stream) instead of panicking the engine.
+    let mut retry_budget = config.faults.retry.deadline_us;
     for &page in &result.pages {
         if cache.access(page) {
             q.pages_hit += 1;
             io.result_pages_cache += 1;
         } else {
-            let t = disk.read_page(page);
-            q.residual_us += t;
-            io.result_pages_disk += 1;
-            io.residual_io_us += t;
+            match disk.read_page_retrying(page, &config.faults.retry, &mut retry_budget) {
+                Ok(t) => {
+                    q.residual_us += t;
+                    io.result_pages_disk += 1;
+                    io.residual_io_us += t;
+                }
+                Err(failed) => {
+                    q.residual_us += failed.latency_us;
+                    io.residual_io_us += failed.latency_us;
+                    io.failed_pages += 1;
+                    q.outcome = ServeOutcome::Failed(failed.error);
+                    break;
+                }
+            }
         }
     }
     // CPU cost of processing the result pages (charged to response).
     q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
+
+    // A failed query ends its timeline here: the user saw an error, so
+    // there is no result to digest and no window to run (phase 3 is a
+    // no-op on failed traces).
+    if q.outcome.is_failed() {
+        return OpenWindow { q, budget_us: 0.0 };
+    }
 
     // (2) Prediction. The session's scratch arena rides along so
     // allocation-free prefetchers reuse warmed buffers (DESIGN.md §6).
@@ -237,6 +301,11 @@ pub(crate) fn run_prefetch_window<C: PageCache>(
     io: &mut IoStats,
 ) -> QueryTrace {
     let OpenWindow { mut q, budget_us: mut budget } = window;
+    if q.outcome.is_failed() {
+        // The serve phase aborted the query; there is no prediction state
+        // to plan from.
+        return q;
+    }
     let plan = prefetcher.plan(ctx);
     'window: for request in plan.requests {
         let (pages, is_gap) = match request {
@@ -256,19 +325,109 @@ pub(crate) fn run_prefetch_window<C: PageCache>(
             if t > budget {
                 break 'window; // the user issued the next query
             }
-            let t = disk.read_page(page);
-            budget -= t;
-            cache.insert(page);
-            io.prefetch_io_us += t;
-            io.prefetch_pages_disk += 1;
-            q.prefetch_pages += 1;
-            if is_gap {
-                io.gap_pages_disk += 1;
-                q.gap_pages += 1;
+            // Verified single attempt (attempt 0 = the prefetch stream):
+            // prefetching is optional work, so a failed speculative read
+            // is dropped — never retried — and the page falls back to
+            // on-demand serving if the user actually needs it. The window
+            // still burned the failed attempt's device time. A straggler
+            // can overdraw the budget it was admitted under (the read was
+            // already issued when it straggled); the loop then closes.
+            match disk.try_read_page(page, 0) {
+                Ok(t) => {
+                    budget -= t;
+                    cache.insert(page);
+                    io.prefetch_io_us += t;
+                    io.prefetch_pages_disk += 1;
+                    q.prefetch_pages += 1;
+                    if is_gap {
+                        io.gap_pages_disk += 1;
+                        q.gap_pages += 1;
+                    }
+                }
+                Err(failed) => {
+                    budget -= failed.latency_us;
+                    disk.note_dropped_prefetch();
+                    if budget <= 0.0 {
+                        break 'window;
+                    }
+                }
             }
         }
     }
     q
+}
+
+/// The per-client fault-control state threading the degradation ladder
+/// through a query's two timeline phases: epoch bookkeeping before the
+/// serve, the circuit-breaker gate before the window, and the breaker's
+/// EWMA update after it. Owned by [`Session`](crate::Session) and by
+/// [`run_sequence`]; every method is a no-op on a fault-free disk, which
+/// is what keeps the zero-fault paths byte-identical.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultCtl {
+    breaker: CircuitBreaker,
+    failed_queries: u64,
+    degraded_windows: u64,
+    /// `(faults injected, reads attempted)` at the start of the current
+    /// query; the end-of-query delta feeds the breaker.
+    mark: (u64, u64),
+}
+
+impl FaultCtl {
+    pub(crate) fn new(config: &ExecutorConfig) -> FaultCtl {
+        FaultCtl {
+            breaker: CircuitBreaker::new(config.faults.breaker),
+            failed_queries: 0,
+            degraded_windows: 0,
+            mark: (0, 0),
+        }
+    }
+
+    /// Arms the disk for query `epoch` and marks the breaker baseline.
+    pub(crate) fn begin_query(&mut self, disk: &mut DiskModel, epoch: u64) {
+        disk.set_fault_epoch(epoch);
+        self.mark = disk.fault_totals();
+    }
+
+    /// Records the serve phase's outcome.
+    pub(crate) fn note_served(&mut self, q: &QueryTrace) {
+        if q.outcome.is_failed() {
+            self.failed_queries += 1;
+        }
+    }
+
+    /// Whether this query's prefetch window may run. Failed queries pass
+    /// through (their window is already a no-op and must not burn breaker
+    /// cooldown); on a faulty disk an open breaker sheds the window.
+    pub(crate) fn allow_window(&mut self, disk: &DiskModel, q: &QueryTrace) -> bool {
+        if !disk.has_faults() || q.outcome.is_failed() {
+            return true;
+        }
+        let allow = self.breaker.allow_prefetch();
+        if !allow {
+            self.degraded_windows += 1;
+        }
+        allow
+    }
+
+    /// Feeds the query's fault window (serve + prefetch) to the breaker.
+    pub(crate) fn end_query(&mut self, disk: &DiskModel) {
+        if !disk.has_faults() {
+            return;
+        }
+        let (faults, attempts) = disk.fault_totals();
+        self.breaker.observe(faults - self.mark.0, attempts - self.mark.1);
+    }
+
+    /// The complete fault report for this client, `None` when the disk
+    /// never injected.
+    pub(crate) fn report(&self, disk: &DiskModel) -> Option<FaultReport> {
+        let mut report = disk.fault_report()?;
+        report.failed_queries = self.failed_queries;
+        report.degraded_windows = self.degraded_windows;
+        report.breaker_trips = self.breaker.trips();
+        Some(report)
+    }
 }
 
 /// Runs one guided query sequence against a fresh cache and disk.
@@ -284,12 +443,17 @@ pub fn run_sequence(
     config.assert_valid();
     let mut cache = PrefetchCache::new(config.cache_pages);
     let mut disk = DiskModel::new(config.disk);
+    if let Some(faults) = config.faults.inject {
+        disk.enable_faults(faults, 0);
+    }
+    let mut faultctl = FaultCtl::new(config);
     let mut trace = SequenceTrace::default();
     // One scratch arena for the whole sequence, like one Session owns one.
     let mut scratch = QueryScratch::new();
     prefetcher.reset();
 
-    for region in regions {
+    for (epoch, region) in regions.iter().enumerate() {
+        faultctl.begin_query(&mut disk, epoch as u64);
         let window = serve_and_observe(
             ctx,
             prefetcher,
@@ -300,9 +464,16 @@ pub fn run_sequence(
             &mut trace.io,
             &mut scratch,
         );
-        let q = run_prefetch_window(ctx, prefetcher, window, &mut cache, &mut disk, &mut trace.io);
+        faultctl.note_served(&window.q);
+        let q = if faultctl.allow_window(&disk, &window.q) {
+            run_prefetch_window(ctx, prefetcher, window, &mut cache, &mut disk, &mut trace.io)
+        } else {
+            window.q
+        };
+        faultctl.end_query(&disk);
         trace.queries.push(q);
     }
+    trace.faults = faultctl.report(&disk);
     trace
 }
 

@@ -187,16 +187,26 @@ where
         for _ in 0..threads {
             scope.spawn(|| loop {
                 // Pop before running so the queue lock is never held
-                // across a grid-point evaluation.
-                let next = queue.lock().unwrap().next();
+                // across a grid-point evaluation. Locks recover from
+                // poison: a panicked sibling's grid point is lost, but
+                // its panic propagates through the scope join below —
+                // double-panicking here would abort the process instead.
+                let next = crate::pool::lock_unpoisoned(&queue).next();
                 let Some((i, point)) = next else { break };
-                *slots[i].lock().unwrap() = Some(run(point));
+                *crate::pool::lock_unpoisoned(&slots[i]) = Some(run(point));
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every grid point produces a result"))
+        .map(|slot| {
+            // Invariant, not an error path: the scope join re-raises any
+            // worker panic, so reaching this line means every slot was
+            // filled by exactly one worker.
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every grid point produces a result")
+        })
         .collect()
 }
 

@@ -22,7 +22,9 @@ pub mod workloads;
 
 pub use context::SimContext;
 pub use costs::{CpuCostModel, CpuUnits};
-pub use executor::{run_sequence, run_sequences, ExecutorConfig, QueryTrace, SequenceTrace};
+pub use executor::{
+    run_sequence, run_sequences, ExecutorConfig, QueryTrace, SequenceTrace, ServeOutcome,
+};
 pub use experiment::{aggregate, evaluate, region_lists, run_parallel, AggregateMetrics, TestBed};
 pub use multi::{
     MultiSessionConfig, MultiSessionExecutor, MultiSessionReport, Schedule, SessionReport,

@@ -32,7 +32,7 @@ use crate::prefetcher::GraphBuildCounters;
 use crate::report::{graph_cache_summary, pct, pct_or_na, percentiles, LatencyPercentiles, Table};
 use crate::scheduler::{AdmissionControl, SchedulerReport, SessionScheduler};
 use crate::session::Session;
-use scout_storage::{hit_ratio, CacheStats, ShardedCache, SharedClock};
+use scout_storage::{hit_ratio, CacheStats, FaultReport, ShardedCache, SharedClock};
 use std::sync::Barrier;
 
 /// How the engine schedules its sessions.
@@ -214,6 +214,9 @@ pub struct SessionReport {
     /// vs full rebuild), when its prefetcher keeps an incremental graph
     /// cache; `None` for history-only baselines.
     pub graph_cache: Option<GraphBuildCounters>,
+    /// This session's fault-layer counters (injection, retries, breaker);
+    /// `None` when fault injection was disabled.
+    pub faults: Option<FaultReport>,
 }
 
 impl SessionReport {
@@ -270,6 +273,10 @@ pub struct MultiSessionReport {
     /// of [`MultiSessionReport::render`], so width-1 work-stealing renders
     /// byte-identically to round-robin.
     pub scheduler: Option<SchedulerReport>,
+    /// Fleet-wide fault-layer counters: the merge of every session's
+    /// report. `None` when fault injection was disabled, which keeps
+    /// [`MultiSessionReport::render`] byte-identical to pre-fault runs.
+    pub faults: Option<FaultReport>,
 }
 
 impl MultiSessionReport {
@@ -289,6 +296,7 @@ impl MultiSessionReport {
                 let graph_cache = session.graph_cache_counters();
                 let tenant = session.tenant();
                 let (id, trace) = session.into_trace();
+                let faults = trace.faults;
                 let residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
                 all_residuals.extend_from_slice(&residuals);
                 match per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
@@ -305,6 +313,7 @@ impl MultiSessionReport {
                     residual: percentiles(&residuals),
                     response_us: trace.total_response_us(),
                     graph_cache,
+                    faults,
                 }
             })
             .collect();
@@ -325,6 +334,12 @@ impl MultiSessionReport {
                 }
             })
             .collect();
+        let mut faults: Option<FaultReport> = None;
+        for s in &reports {
+            if let Some(f) = &s.faults {
+                faults.get_or_insert_with(FaultReport::default).merge(f);
+            }
+        }
         MultiSessionReport {
             sessions: reports,
             tenants,
@@ -332,6 +347,7 @@ impl MultiSessionReport {
             disk_busy_us,
             residual: percentiles(&all_residuals),
             scheduler,
+            faults,
         }
     }
 
@@ -439,6 +455,26 @@ impl MultiSessionReport {
                 }
             }
             out.push_str(&format!("graph builds all: {}\n", graph_cache_summary(&total)));
+        }
+        // Fault-layer counters — only when fault injection ran, so
+        // fault-free renders stay byte-identical to pre-fault ones (the
+        // determinism tests compare renders).
+        if let Some(faults) = &self.faults {
+            let failed: u64 = faults.failed_queries;
+            out.push_str(&faults.summary());
+            out.push('\n');
+            if failed > 0 {
+                for s in &self.sessions {
+                    if let Some(f) = &s.faults {
+                        if f.failed_queries > 0 {
+                            out.push_str(&format!(
+                                "failed queries #{}: {}\n",
+                                s.id, f.failed_queries
+                            ));
+                        }
+                    }
+                }
+            }
         }
         out
     }
@@ -615,12 +651,14 @@ mod tests {
                 residual: LatencyPercentiles::default(),
                 response_us: 0.0,
                 graph_cache: Some(GraphBuildCounters::default()),
+                faults: None,
             }],
             tenants: Vec::new(),
             cache: CacheStats::default(),
             disk_busy_us: 0.0,
             residual: LatencyPercentiles::default(),
             scheduler: None,
+            faults: None,
         };
         let s = report.render();
         assert!(s.contains("accesses (n/a)"), "shared-cache line: {s}");

@@ -38,7 +38,21 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks `m`, recovering the guard when a previous holder panicked.
+///
+/// Every critical section in this crate's crew machinery leaves its state
+/// consistent at each point it could unwind (single-field writes, counter
+/// updates completed before any call that can panic), so a poisoned mutex
+/// only records *that* a sibling died, not a broken invariant. Recovering
+/// instead of unwrapping keeps one session's panic from cascading into a
+/// second panic on every later dispatch — the containment contract the
+/// scheduler tests (`panicking_session_does_not_deadlock_the_fleet`)
+/// pin down.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A job handed to the workers: a type-erased `Fn(part)` living on the
 /// dispatching caller's stack. The raw pointer is only dereferenced
@@ -133,7 +147,7 @@ pub struct WorkerPool {
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("spawned", &*self.spawned.lock().unwrap())
+            .field("spawned", &*lock_unpoisoned(&self.spawned))
             .field("max_workers", &self.max_workers)
             .finish()
     }
@@ -207,7 +221,7 @@ impl WorkerPool {
         // `Job`).
         let job = Job::erase(f);
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.job = Some(job);
             state.active = workers_wanted;
             state.remaining = workers_wanted;
@@ -226,9 +240,9 @@ impl WorkerPool {
                 f(p);
             }
         }));
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.shared.state);
         while state.remaining > 0 {
-            state = self.shared.done_cv.wait(state).unwrap();
+            state = self.shared.done_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         state.job = None;
         let worker_panic = state.panic.take();
@@ -245,7 +259,7 @@ impl WorkerPool {
     /// spawn failed (the caller then runs inline — resource exhaustion
     /// degrades to serial, it does not panic the build).
     fn ensure_workers(&self, wanted: usize) -> bool {
-        let mut spawned = self.spawned.lock().unwrap();
+        let mut spawned = lock_unpoisoned(&self.spawned);
         while *spawned < wanted {
             let id = *spawned + 1; // worker ids are 1-based; 0 is the caller
             let shared = self.shared;
@@ -265,10 +279,7 @@ impl Drop for WorkerPool {
     /// `shutdown`, and return. Only the `PoolShared` allocation itself
     /// is leaked (so a worker mid-wakeup never dangles).
     fn drop(&mut self) {
-        let mut state = match self.shared.state.lock() {
-            Ok(state) => state,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut state = lock_unpoisoned(&self.shared.state);
         state.shutdown = true;
         self.shared.work_cv.notify_all();
     }
@@ -278,7 +289,7 @@ pub(crate) fn worker_loop(shared: &'static PoolShared, id: usize) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -290,7 +301,7 @@ pub(crate) fn worker_loop(shared: &'static PoolShared, id: usize) {
                     }
                     // Not participating this epoch; keep waiting.
                 }
-                state = shared.work_cv.wait(state).unwrap();
+                state = shared.work_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the dispatcher keeps the closure alive until
@@ -300,7 +311,7 @@ pub(crate) fn worker_loop(shared: &'static PoolShared, id: usize) {
         // dispatcher (and every later dispatch) waiting forever. The
         // payload is handed to the dispatcher, which re-raises it.
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(id) }));
-        let mut state = shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&shared.state);
         if let Err(payload) = outcome {
             state.panic.get_or_insert(payload);
         }

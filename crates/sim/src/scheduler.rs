@@ -51,7 +51,7 @@
 
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
-use crate::pool::{worker_loop, Job, PoolShared};
+use crate::pool::{lock_unpoisoned, worker_loop, Job, PoolShared};
 use crate::session::Session;
 use scout_storage::{ShardedCache, ThrashMonitor};
 use std::any::Any;
@@ -59,7 +59,7 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
 
 // ---------------------------------------------------------------------------
 // Admission control configuration
@@ -359,6 +359,9 @@ impl AdmissionQueue {
         tenants.dedup();
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); tenants.len().max(1)];
         for (idx, session) in sessions.iter().enumerate() {
+            // Invariant, not an error path: `tenants` was just built as the
+            // sorted dedup of these same sessions' tenant ids, so the
+            // search cannot miss.
             let dense = tenants.binary_search(&session.tenant()).expect("tenant mapped");
             queues[dense].push_back(idx);
         }
@@ -392,6 +395,9 @@ impl AdmissionQueue {
     fn shed_over(&mut self, limit: usize) -> Vec<usize> {
         let mut shed = Vec::new();
         while self.backlog > limit {
+            // Invariants, not error paths: `queues` is constructed with at
+            // least one tenant FIFO, and `backlog > limit >= 0` means some
+            // FIFO is non-empty, so the longest one cannot be empty.
             let (t, _) = self
                 .queues
                 .iter()
@@ -465,9 +471,9 @@ impl FleetShared<'_, '_> {
     /// for work observe `abort`, workers parked at the gate observe
     /// `done`.
     fn fail(&self, payload: Box<dyn Any + Send>) {
-        self.failure.lock().unwrap().get_or_insert(payload);
+        lock_unpoisoned(&self.failure).get_or_insert(payload);
         self.abort.store(true, Ordering::SeqCst);
-        let mut g = self.gate.lock().unwrap();
+        let mut g = lock_unpoisoned(&self.gate);
         g.done = true;
         self.gate_cv.notify_all();
     }
@@ -574,14 +580,14 @@ impl FleetShared<'_, '_> {
     /// phase (running admission at round boundaries) and wakes the rest.
     /// Returns the next epoch, or `None` when the fleet is done.
     fn arrive(&self, w: usize, epoch: u64) -> Option<u64> {
-        let mut g = self.gate.lock().unwrap();
+        let mut g = lock_unpoisoned(&self.gate);
         if g.done {
             return None;
         }
         g.arrived += 1;
         if g.arrived < self.width {
             while g.epoch == epoch && !g.done {
-                g = self.gate_cv.wait(g).unwrap();
+                g = self.gate_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
             return if g.done { None } else { Some(g.epoch) };
         }
@@ -622,7 +628,7 @@ impl FleetShared<'_, '_> {
     /// spread them. `starving` (no survivors from the previous round)
     /// overrides the thrash delay so backpressure cannot live-lock.
     fn admit(&self, w: usize, parity: usize, starving: bool) -> usize {
-        let mut q = self.admission.lock().unwrap();
+        let mut q = lock_unpoisoned(&self.admission);
         if q.backlog == 0 {
             return 0;
         }
@@ -672,7 +678,9 @@ pub struct SessionScheduler {
 
 impl std::fmt::Debug for SessionScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SessionScheduler").field("spawned", &*self.spawned.lock().unwrap()).finish()
+        f.debug_struct("SessionScheduler")
+            .field("spawned", &*lock_unpoisoned(&self.spawned))
+            .finish()
     }
 }
 
@@ -785,7 +793,7 @@ impl SessionScheduler {
             shed[idx] = true;
         }
         let shed_count = shed.iter().filter(|&&s| s).count() as u64;
-        *fleet.admission.lock().unwrap() = queue;
+        *lock_unpoisoned(&fleet.admission) = queue;
         fleet.phase_items.store(seeded, Ordering::Release);
         fleet.stats.rounds.store(1, Ordering::Relaxed);
 
@@ -795,7 +803,7 @@ impl SessionScheduler {
         let drain = |w: usize| fleet.drain(w);
         let job = Job::erase(&drain);
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.job = Some(job);
             state.active = extra;
             state.remaining = extra;
@@ -805,9 +813,9 @@ impl SessionScheduler {
         // `drain` catches everything itself, but the join must survive
         // even a panic that escapes it (see WorkerPool::run).
         let caller = catch_unwind(AssertUnwindSafe(|| drain(0)));
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.shared.state);
         while state.remaining > 0 {
-            state = self.shared.done_cv.wait(state).unwrap();
+            state = self.shared.done_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         state.job = None;
         let crew_panic = state.panic.take();
@@ -820,7 +828,7 @@ impl SessionScheduler {
         }
 
         let FleetShared { slots, stats, failure, .. } = fleet;
-        if let Some(payload) = failure.into_inner().unwrap() {
+        if let Some(payload) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
             resume_unwind(payload);
         }
         FleetOutcome {

@@ -18,12 +18,12 @@
 
 use crate::context::SimContext;
 use crate::executor::{
-    run_prefetch_window, serve_and_observe, ExecutorConfig, OpenWindow, SequenceTrace,
+    run_prefetch_window, serve_and_observe, ExecutorConfig, FaultCtl, OpenWindow, SequenceTrace,
 };
 use crate::prefetcher::Prefetcher;
 use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
-use scout_storage::{DiskModel, PageCache, SharedClock};
+use scout_storage::{DiskModel, FaultReport, PageCache, SharedClock};
 
 /// One client: a prefetcher, a query stream, a disk handle and a trace.
 pub struct Session {
@@ -41,6 +41,9 @@ pub struct Session {
     /// Reusable query-hot-path buffers; lives as long as the session so
     /// steady-state queries allocate nothing in the graph-build phase.
     scratch: QueryScratch,
+    /// Degradation-ladder state (circuit breaker, failed-query counters).
+    /// Every touch is a no-op while the disk is fault-free.
+    faultctl: FaultCtl,
 }
 
 impl Session {
@@ -60,6 +63,7 @@ impl Session {
             trace: SequenceTrace::default(),
             open: None,
             scratch: QueryScratch::new(),
+            faultctl: FaultCtl::new(&ExecutorConfig::default()),
         }
     }
 
@@ -108,6 +112,12 @@ impl Session {
             Some(c) => DiskModel::with_clock(config.disk, c),
             None => DiskModel::new(config.disk),
         };
+        if let Some(faults) = config.faults.inject {
+            // Salt by session id: siblings sharing one fault seed see
+            // distinct (but individually deterministic) fault streams.
+            self.disk.enable_faults(faults, self.id as u64);
+        }
+        self.faultctl = FaultCtl::new(config);
         self.prefetcher.reset();
         self.trace = SequenceTrace::default();
         self.next = 0;
@@ -128,6 +138,7 @@ impl Session {
         let Some(region) = self.regions.get(self.next) else {
             return false;
         };
+        self.faultctl.begin_query(&mut self.disk, self.next as u64);
         let window = serve_and_observe(
             ctx,
             self.prefetcher.as_mut(),
@@ -138,6 +149,7 @@ impl Session {
             &mut self.trace.io,
             &mut self.scratch,
         );
+        self.faultctl.note_served(&window.q);
         self.open = Some(window);
         true
     }
@@ -153,14 +165,21 @@ impl Session {
         let Some(window) = self.open.take() else {
             return;
         };
-        let q = run_prefetch_window(
-            ctx,
-            self.prefetcher.as_mut(),
-            window,
-            cache,
-            &mut self.disk,
-            &mut self.trace.io,
-        );
+        let q = if self.faultctl.allow_window(&self.disk, &window.q) {
+            run_prefetch_window(
+                ctx,
+                self.prefetcher.as_mut(),
+                window,
+                cache,
+                &mut self.disk,
+                &mut self.trace.io,
+            )
+        } else {
+            // Breaker open: prefetching (optional work) is shed for this
+            // query; demand serving continues unchanged.
+            window.q
+        };
+        self.faultctl.end_query(&self.disk);
         self.trace.queries.push(q);
         self.next += 1;
     }
@@ -199,8 +218,16 @@ impl Session {
         self.prefetcher.graph_cache_counters()
     }
 
-    /// Consumes the session, yielding its id and trace.
-    pub fn into_trace(self) -> (usize, SequenceTrace) {
+    /// This session's fault-layer counters, `None` while fault injection
+    /// is disabled.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faultctl.report(&self.disk)
+    }
+
+    /// Consumes the session, yielding its id and trace (with the fault
+    /// report stamped in when injection was enabled).
+    pub fn into_trace(mut self) -> (usize, SequenceTrace) {
+        self.trace.faults = self.faultctl.report(&self.disk);
         (self.id, self.trace)
     }
 }

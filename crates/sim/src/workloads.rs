@@ -233,6 +233,7 @@ fn arm_path(dataset: &Dataset, start: GuideNodeId, first: GuideNodeId, needed: f
             break;
         };
         let p = guide.position(next);
+        // Invariant: `path` starts with two points and only grows.
         len += p.distance(*path.last().expect("path is non-empty"));
         path.push(p);
         prev = cur;
@@ -254,6 +255,8 @@ fn point_at_arc(path: &[Vec3], s: f64) -> Vec3 {
         }
         remaining -= seg_len;
     }
+    // Invariant: callers build paths with at least one point (arm_path
+    // seeds two), so past-the-end arc lengths clamp to the final vertex.
     *path.last().expect("path is non-empty")
 }
 

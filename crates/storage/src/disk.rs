@@ -7,6 +7,9 @@
 //! are ratios of simulated times, so the *shape* of every result is
 //! preserved regardless of host hardware. See DESIGN.md §2.
 
+use crate::fault::{
+    Decision, FailedRead, FaultConfig, FaultInjector, FaultReport, IoError, RetryPolicy,
+};
 use crate::page::PageId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,6 +74,9 @@ pub struct DiskModel {
     random_reads: u64,
     sequential_reads: u64,
     clock: Option<SharedClock>,
+    /// Chaos source; `None` (the default) keeps every read infallible and
+    /// the fallible entry points byte-identical to the plain ones.
+    faults: Option<FaultInjector>,
 }
 
 impl DiskModel {
@@ -82,7 +88,14 @@ impl DiskModel {
         if let Err(e) = profile.validate() {
             panic!("invalid DiskProfile: {e}");
         }
-        DiskModel { profile, last_page: None, random_reads: 0, sequential_reads: 0, clock: None }
+        DiskModel {
+            profile,
+            last_page: None,
+            random_reads: 0,
+            sequential_reads: 0,
+            clock: None,
+            faults: None,
+        }
     }
 
     /// Disk charging every read against a shared clock (multi-session
@@ -96,6 +109,51 @@ impl DiskModel {
     /// The shared clock, when one is attached.
     pub fn clock(&self) -> Option<&SharedClock> {
         self.clock.as_ref()
+    }
+
+    /// Arms fault injection on this disk: subsequent verified reads draw
+    /// from `config`'s seeded schedule, decorrelated by `salt` (sessions
+    /// pass their id so siblings sharing one seed see distinct streams).
+    /// Clones made *after* this call carry the injector (and their own
+    /// counters); `reset` keeps it armed but zeroes its counters.
+    pub fn enable_faults(&mut self, config: FaultConfig, salt: u64) {
+        self.faults = Some(FaultInjector::new(config, salt));
+    }
+
+    /// True when a fault injector is armed.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Sets the query ordinal keying subsequent fault draws. No-op
+    /// without an injector, so fault-free paths pay one branch.
+    pub fn set_fault_epoch(&mut self, epoch: u64) {
+        if let Some(inj) = &mut self.faults {
+            inj.set_epoch(epoch);
+        }
+    }
+
+    /// The injector's counters so far, `None` when faults are disabled.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|inj| *inj.report())
+    }
+
+    /// `(faults injected, reads attempted)` so far on the verified path —
+    /// the delta pair the per-session circuit breaker smooths. `(0, 0)`
+    /// when faults are disabled.
+    pub fn fault_totals(&self) -> (u64, u64) {
+        match &self.faults {
+            Some(inj) => (inj.report().injected(), inj.report().reads_attempted),
+            None => (0, 0),
+        }
+    }
+
+    /// Counts a prefetch read dropped on fault (the executor's graceful
+    /// degradation for optional work).
+    pub fn note_dropped_prefetch(&mut self) {
+        if let Some(inj) = &mut self.faults {
+            inj.report_mut().dropped_prefetch += 1;
+        }
     }
 
     /// The latency profile.
@@ -125,7 +183,23 @@ impl DiskModel {
     ///
     /// A read of the page physically following the previous read costs the
     /// sequential rate; anything else costs a full random read.
+    ///
+    /// This is the *unverified* path: on a fault-enabled disk it performs
+    /// no checksum verification and never fails, so a scheduled corrupt
+    /// (or stuck) read flows straight to the caller — counted as
+    /// `corruption_served` in the [`FaultReport`]. The engine serves only
+    /// through [`DiskModel::try_read_page`] /
+    /// [`DiskModel::read_page_retrying`]; CI pins the counter at zero to
+    /// prove no code path regresses to this one under chaos.
     pub fn read_page(&mut self, page: PageId) -> f64 {
+        if let Some(inj) = &mut self.faults {
+            inj.on_unverified_read(page);
+        }
+        self.read_page_raw(page)
+    }
+
+    /// The latency/head/counter/clock bookkeeping of a successful read.
+    fn read_page_raw(&mut self, page: PageId) -> f64 {
         let us = self.peek_read_us(page);
         if self.is_sequential(page) {
             self.sequential_reads += 1;
@@ -137,6 +211,114 @@ impl DiskModel {
             clock.advance(us);
         }
         us
+    }
+
+    /// Reads one page with checksum verification against the armed fault
+    /// schedule. Without an injector this is exactly [`DiskModel::read_page`]
+    /// (same latency, same side effects — the zero-fault byte-identity
+    /// contract).
+    ///
+    /// `attempt` keys the fault draw: the demand-read retry loop passes
+    /// 1, 2, …; prefetch reads pass 0 (they never retry). A failed
+    /// attempt charges its latency to the shared clock (the device was
+    /// busy failing) but moves neither the head nor the read counters —
+    /// the retry re-issues the whole read.
+    pub fn try_read_page(&mut self, page: PageId, attempt: u32) -> Result<f64, FailedRead> {
+        let Some(inj) = &mut self.faults else {
+            return Ok(self.read_page_raw(page));
+        };
+        match inj.on_attempt(page, attempt) {
+            Decision::Clean => Ok(self.read_page_raw(page)),
+            Decision::Slow => {
+                // The read succeeds but straggles: the nominal latency is
+                // charged by the raw read, the spike on top here.
+                let mult = inj.config().slow_multiplier;
+                let base = self.read_page_raw(page);
+                let extra = base * (mult - 1.0);
+                if let Some(clock) = &self.clock {
+                    clock.advance(extra);
+                }
+                Ok(base + extra)
+            }
+            decision => {
+                let us = self.peek_read_us(page);
+                if let Some(clock) = &self.clock {
+                    clock.advance(us);
+                }
+                let error = match decision {
+                    Decision::Transient => IoError::Transient { page },
+                    Decision::Corrupt => IoError::Corrupted { page },
+                    _ => IoError::Stuck { page },
+                };
+                Err(FailedRead { latency_us: us, error })
+            }
+        }
+    }
+
+    /// Reads one demand page under `policy`: verified attempts with
+    /// exponential, jittered backoff between retries, all costed in
+    /// simulated µs. `deadline_us` is the query's remaining retry-overhead
+    /// budget (failed-attempt latency + backoff); it is decremented in
+    /// place so one budget spans all of a query's reads.
+    ///
+    /// Returns the total user-visible latency on success (attempts plus
+    /// backoff), or the accumulated latency and final cause on failure.
+    /// Backoff advances no shared clock — the device is idle while the
+    /// reader waits — but counts against the deadline and the caller's
+    /// residual time. Without an injector this is exactly one infallible
+    /// [`DiskModel::read_page`].
+    pub fn read_page_retrying(
+        &mut self,
+        page: PageId,
+        policy: &RetryPolicy,
+        deadline_us: &mut f64,
+    ) -> Result<f64, FailedRead> {
+        if self.faults.is_none() {
+            return Ok(self.read_page_raw(page));
+        }
+        let mut total = 0.0;
+        for attempt in 1..=policy.max_attempts {
+            match self.try_read_page(page, attempt) {
+                Ok(us) => {
+                    if attempt > 1 {
+                        if let Some(inj) = &mut self.faults {
+                            inj.report_mut().recovered += 1;
+                        }
+                    }
+                    return Ok(total + us);
+                }
+                Err(failed) => {
+                    total += failed.latency_us;
+                    *deadline_us -= failed.latency_us;
+                    let inj = self.faults.as_mut().expect("armed above");
+                    if failed.error.is_permanent() {
+                        // Retrying a stuck page is wasted deadline.
+                        return Err(FailedRead { latency_us: total, error: failed.error });
+                    }
+                    if attempt == policy.max_attempts {
+                        inj.report_mut().exhausted += 1;
+                        return Err(FailedRead {
+                            latency_us: total,
+                            error: IoError::AttemptsExhausted { page, attempts: attempt },
+                        });
+                    }
+                    let backoff = policy.backoff_us(inj, page, attempt);
+                    if *deadline_us <= 0.0 || backoff > *deadline_us {
+                        inj.report_mut().timed_out += 1;
+                        return Err(FailedRead {
+                            latency_us: total,
+                            error: IoError::DeadlineExceeded { page },
+                        });
+                    }
+                    total += backoff;
+                    *deadline_us -= backoff;
+                    let report = inj.report_mut();
+                    report.retries += 1;
+                    report.backoff_us += backoff;
+                }
+            }
+        }
+        unreachable!("loop returns on the final attempt");
     }
 
     /// Simulated time to read `n` pages in the best case (one seek, then
@@ -171,6 +353,11 @@ impl DiskModel {
         self.last_page = None;
         self.random_reads = 0;
         self.sequential_reads = 0;
+        if let Some(inj) = &mut self.faults {
+            // The schedule stays armed (it is a device property), but the
+            // counters measure one sequence like every other counter here.
+            *inj.report_mut() = FaultReport::default();
+        }
     }
 }
 
@@ -372,5 +559,168 @@ mod tests {
         c.advance(10.0);
         c.advance(2.5);
         assert!((c.now_us() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faultless_fallible_reads_are_byte_identical_to_plain_reads() {
+        let mut plain = DiskModel::default();
+        let mut fallible = DiskModel::default();
+        let mut deadline = RetryPolicy::default().deadline_us;
+        for p in [10u32, 11, 13, 13, 14] {
+            let a = plain.read_page(PageId(p));
+            let b = fallible
+                .read_page_retrying(PageId(p), &RetryPolicy::default(), &mut deadline)
+                .expect("no injector, no failure");
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.random_reads(), fallible.random_reads());
+        assert_eq!(plain.sequential_reads(), fallible.sequential_reads());
+        assert_eq!(fallible.fault_report(), None);
+        assert_eq!(deadline, RetryPolicy::default().deadline_us, "no retry overhead spent");
+    }
+
+    #[test]
+    fn zero_rate_injector_never_fails_and_matches_plain_latencies() {
+        let mut d = DiskModel::default();
+        d.enable_faults(FaultConfig::none(7), 0);
+        let mut plain = DiskModel::default();
+        for p in [5u32, 6, 9] {
+            let t = d.try_read_page(PageId(p), 1).expect("zero rates cannot fault");
+            assert_eq!(t, plain.read_page(PageId(p)));
+        }
+        let report = d.fault_report().expect("armed injector reports");
+        assert_eq!(report.injected(), 0);
+        assert_eq!(report.reads_attempted, 3);
+    }
+
+    #[test]
+    fn failed_attempts_charge_the_clock_but_not_the_head() {
+        // transient_rate 1.0: every attempt fails.
+        let cfg = FaultConfig { transient_rate: 1.0, ..FaultConfig::none(1) };
+        let clock = SharedClock::new();
+        let mut d = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        d.enable_faults(cfg, 0);
+        let failed = d.try_read_page(PageId(10), 1).expect_err("must fail");
+        assert_eq!(failed.error, IoError::Transient { page: PageId(10) });
+        assert_eq!(failed.latency_us, d.profile().random_read_us);
+        assert_eq!(clock.now_us(), d.profile().random_read_us, "device was busy failing");
+        assert_eq!(d.random_reads(), 0, "a failed read is not a completed read");
+        // Head did not move: the next successful read elsewhere is random.
+        assert_eq!(d.peek_read_us(PageId(11)), d.profile().random_read_us);
+    }
+
+    #[test]
+    fn retry_loop_recovers_and_accounts_backoff() {
+        // 50 % transient: with 4 attempts most reads recover eventually.
+        let cfg = FaultConfig { transient_rate: 0.5, ..FaultConfig::none(11) };
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        let policy = RetryPolicy::default();
+        let mut deadline = f64::INFINITY;
+        for p in 0..200u32 {
+            d.set_fault_epoch(p as u64); // fresh draws per "query"
+            let _ = d.read_page_retrying(PageId(p), &policy, &mut deadline);
+        }
+        let report = d.fault_report().unwrap();
+        assert!(report.injected_transient > 0, "50 % rate must inject");
+        assert!(report.recovered > 0, "retries must recover some reads");
+        assert!(report.retries >= report.recovered);
+        assert!(report.backoff_us > 0.0);
+    }
+
+    #[test]
+    fn stuck_pages_fail_without_retry_and_deadline_bounds_overhead() {
+        let cfg = FaultConfig { stuck_rate: 1.0, ..FaultConfig::none(2) };
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        let policy = RetryPolicy::default();
+        let mut deadline = policy.deadline_us;
+        let failed = d.read_page_retrying(PageId(3), &policy, &mut deadline).expect_err("stuck");
+        assert_eq!(failed.error, IoError::Stuck { page: PageId(3) });
+        // One attempt only: stuck is permanent.
+        assert_eq!(d.fault_report().unwrap().reads_attempted, 1);
+        assert_eq!(d.fault_report().unwrap().retries, 0);
+
+        // All-transient with a zero deadline: the first retry is refused.
+        let cfg = FaultConfig { transient_rate: 1.0, ..FaultConfig::none(2) };
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        let mut deadline = 0.0;
+        let failed = d.read_page_retrying(PageId(3), &policy, &mut deadline).expect_err("deadline");
+        assert_eq!(failed.error, IoError::DeadlineExceeded { page: PageId(3) });
+        assert_eq!(d.fault_report().unwrap().timed_out, 1);
+
+        // Ample deadline but every attempt fails: exhausted.
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        let mut deadline = f64::INFINITY;
+        let failed = d.read_page_retrying(PageId(3), &policy, &mut deadline).expect_err("exhaust");
+        assert_eq!(
+            failed.error,
+            IoError::AttemptsExhausted { page: PageId(3), attempts: policy.max_attempts }
+        );
+        assert_eq!(d.fault_report().unwrap().exhausted, 1);
+        assert_eq!(d.fault_report().unwrap().reads_attempted, policy.max_attempts as u64);
+    }
+
+    #[test]
+    fn slow_reads_succeed_with_multiplied_latency() {
+        let cfg = FaultConfig { slow_rate: 1.0, slow_multiplier: 8.0, ..FaultConfig::none(5) };
+        let clock = SharedClock::new();
+        let mut d = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        d.enable_faults(cfg, 0);
+        let t = d.try_read_page(PageId(20), 1).expect("slow reads succeed");
+        assert_eq!(t, 8.0 * d.profile().random_read_us);
+        assert!((clock.now_us() - t).abs() < 1e-9, "full straggle charged to the device");
+        assert_eq!(d.random_reads(), 1, "a slow read is still a completed read");
+        assert_eq!(d.fault_report().unwrap().injected_slow, 1);
+    }
+
+    #[test]
+    fn unverified_reads_on_a_corrupt_schedule_trip_the_tripwire() {
+        let cfg = FaultConfig { corrupt_rate: 1.0, ..FaultConfig::none(6) };
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        d.read_page(PageId(1)); // the bypass path
+        assert_eq!(d.fault_report().unwrap().corruption_served, 1);
+        // The verified path detects the same corruption instead.
+        let failed = d.try_read_page(PageId(2), 1).expect_err("checksum catches it");
+        assert_eq!(failed.error, IoError::Corrupted { page: PageId(2) });
+        assert_eq!(d.fault_report().unwrap().corruption_served, 1, "tripwire untouched");
+        assert_eq!(d.fault_report().unwrap().injected_corrupt, 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_across_clones_and_reruns() {
+        let cfg = FaultConfig { transient_rate: 0.3, slow_rate: 0.2, ..FaultConfig::default() };
+        let run = || {
+            let mut d = DiskModel::default();
+            d.enable_faults(cfg, 3);
+            let mut verdicts = Vec::new();
+            for epoch in 0..4u64 {
+                d.set_fault_epoch(epoch);
+                for p in 0..32u32 {
+                    verdicts.push(d.try_read_page(PageId(p), 1).is_ok());
+                }
+            }
+            (verdicts, d.fault_report().unwrap())
+        };
+        let (v1, r1) = run();
+        let (v2, r2) = run();
+        assert_eq!(v1, v2, "same seed, same salt, same schedule");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn disk_reset_zeroes_fault_counters_but_keeps_the_schedule() {
+        let cfg = FaultConfig { transient_rate: 1.0, ..FaultConfig::none(4) };
+        let mut d = DiskModel::default();
+        d.enable_faults(cfg, 0);
+        let _ = d.try_read_page(PageId(1), 1);
+        assert!(d.fault_report().unwrap().injected_transient > 0);
+        d.reset();
+        assert!(d.has_faults());
+        assert_eq!(d.fault_report().unwrap(), FaultReport::default());
+        assert!(d.try_read_page(PageId(1), 1).is_err(), "schedule still armed");
     }
 }

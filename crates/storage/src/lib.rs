@@ -11,6 +11,7 @@
 
 pub mod cache;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod page_cache;
 pub mod sharded;
@@ -19,6 +20,10 @@ pub mod thrash;
 
 pub use cache::PrefetchCache;
 pub use disk::{DiskModel, DiskProfile, SharedClock, SimClock};
+pub use fault::{
+    BreakerPolicy, CircuitBreaker, FailedRead, FaultConfig, FaultInjector, FaultPlan, FaultReport,
+    IoError, RetryPolicy,
+};
 pub use page::{Page, PageId, PageLayout};
 pub use page_cache::{CacheStats, PageCache};
 pub use sharded::ShardedCache;

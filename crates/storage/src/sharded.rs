@@ -18,7 +18,18 @@ use crate::page::PageId;
 use crate::page_cache::{CacheStats, PageCache};
 use crate::PrefetchCache;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a shard, recovering the guard when a previous holder panicked.
+/// Shard mutations are single `PrefetchCache` calls whose internal state
+/// stays consistent under unwind (worst case: a promotion or insertion
+/// that never happened), so poison only records *that* a sibling session
+/// died — recovering keeps its panic from cascading a second panic into
+/// every surviving session that shares the cache (the fleet-containment
+/// contract of the multi-session engine).
+fn lock_shard(shard: &Mutex<PrefetchCache>) -> MutexGuard<'_, PrefetchCache> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Fibonacci-hash multiplier (2⁶⁴ / φ), the usual mixer for sequential ids.
 const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -97,7 +108,7 @@ impl ShardedCache {
     /// Records an access: a hit promotes within its shard. Returns whether
     /// the page was cached.
     pub fn access(&self, page: PageId) -> bool {
-        let hit = self.shards[self.shard_of(page)].lock().unwrap().access(page);
+        let hit = lock_shard(&self.shards[self.shard_of(page)]).access(page);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -109,7 +120,7 @@ impl ShardedCache {
     /// Inserts a page into its shard, evicting that shard's LRU page when
     /// the shard is full. Returns the evicted page, if any.
     pub fn insert(&self, page: PageId) -> Option<PageId> {
-        let mut shard = self.shards[self.shard_of(page)].lock().unwrap();
+        let mut shard = lock_shard(&self.shards[self.shard_of(page)]);
         let fresh = !shard.contains(page);
         let evicted = shard.insert(page);
         if fresh {
@@ -123,7 +134,7 @@ impl ShardedCache {
 
     /// True when the page is cached (no recency or counter effect).
     pub fn contains(&self, page: PageId) -> bool {
-        self.shards[self.shard_of(page)].lock().unwrap().contains(page)
+        lock_shard(&self.shards[self.shard_of(page)]).contains(page)
     }
 
     /// Number of cached pages, summed over shards.
@@ -131,7 +142,7 @@ impl ShardedCache {
     /// Under concurrent mutation this is a momentary sum, not a linearizable
     /// snapshot.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when nothing is cached.
@@ -142,7 +153,7 @@ impl ShardedCache {
     /// Empties every shard and zeroes all counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().unwrap().clear();
+            lock_shard(shard).clear();
         }
         self.reset_stats();
     }
@@ -170,7 +181,7 @@ impl ShardedCache {
     /// The cached pages of every shard, MRU-first (test/diagnostic helper:
     /// the cross-shard property tests assert no page appears twice).
     pub fn shard_pages(&self) -> Vec<Vec<PageId>> {
-        self.shards.iter().map(|s| s.lock().unwrap().pages_mru_order()).collect()
+        self.shards.iter().map(|s| lock_shard(s).pages_mru_order()).collect()
     }
 }
 

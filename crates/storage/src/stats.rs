@@ -38,6 +38,11 @@ pub struct IoStats {
     pub residual_io_us: f64,
     /// Simulated µs spent reading prefetch pages.
     pub prefetch_io_us: f64,
+    /// Result pages whose demand read failed unrecoverably (fault
+    /// injection only; the query surfaced the error and skipped its
+    /// remaining pages, so `result_pages_cache + result_pages_disk +
+    /// failed_pages` can undercount the requested total).
+    pub failed_pages: u64,
 }
 
 impl IoStats {
@@ -66,6 +71,7 @@ impl IoStats {
         self.gap_pages_disk += other.gap_pages_disk;
         self.residual_io_us += other.residual_io_us;
         self.prefetch_io_us += other.prefetch_io_us;
+        self.failed_pages += other.failed_pages;
     }
 }
 
@@ -103,6 +109,7 @@ mod tests {
             gap_pages_disk: 4,
             residual_io_us: 5.0,
             prefetch_io_us: 6.0,
+            failed_pages: 7,
         };
         let b = a;
         a.merge(&b);
@@ -112,5 +119,6 @@ mod tests {
         assert_eq!(a.gap_pages_disk, 8);
         assert!((a.residual_io_us - 10.0).abs() < 1e-12);
         assert!((a.prefetch_io_us - 12.0).abs() < 1e-12);
+        assert_eq!(a.failed_pages, 14);
     }
 }

@@ -59,6 +59,14 @@ impl ThrashMonitor {
     /// corresponding average untouched rather than diluting it with 0/0.
     /// Counters that went backwards (the cache was `reset_stats` mid-run)
     /// are treated as an empty window, not a panic.
+    ///
+    /// A window with zero *accesses* contributes nothing at all — not even
+    /// to the eviction EWMA when insertions occurred. Access-free churn
+    /// (e.g. a prefetch warm-up filling the cache before any query reads
+    /// it) says nothing about whether load is being absorbed, and letting
+    /// it pre-charge the eviction average used to make the very first
+    /// access sample able to flip a cold monitor straight to a thrash
+    /// verdict.
     pub fn observe(&mut self, stats: &CacheStats) {
         let d_hits = stats.hits.saturating_sub(self.last_hits);
         let d_misses = stats.misses.saturating_sub(self.last_misses);
@@ -69,10 +77,10 @@ impl ThrashMonitor {
             let window = d_hits as f64 / d_acc as f64;
             self.hit_ewma += self.alpha * (window - self.hit_ewma);
             self.samples += 1;
-        }
-        if d_ins > 0 {
-            let window = d_ev as f64 / d_ins as f64;
-            self.eviction_ewma += self.alpha * (window - self.eviction_ewma);
+            if d_ins > 0 {
+                let window = d_ev as f64 / d_ins as f64;
+                self.eviction_ewma += self.alpha * (window - self.eviction_ewma);
+            }
         }
         self.last_hits = stats.hits;
         self.last_misses = stats.misses;
@@ -194,6 +202,36 @@ mod tests {
         assert_eq!(m.eviction_ewma(), e);
         m.observe(&snap(10, 0, 0, 0));
         assert!(m.hit_ewma() > h);
+    }
+
+    #[test]
+    fn access_free_churn_cannot_prime_a_thrash_verdict() {
+        // Cold-start regression: windows with insertions/evictions but
+        // *zero accesses* (a prefetch warm-up) must not move the eviction
+        // EWMA. Before the fix, heavy access-free churn pre-charged the
+        // eviction average, so the very first (possibly unlucky) access
+        // window flipped the monitor straight to "thrashing".
+        let mut m = ThrashMonitor::new(0.5);
+        let mut s = CacheStats::default();
+        for _ in 0..10 {
+            s.insertions += 100;
+            s.evictions += 100;
+            m.observe(&s); // no accesses: must be a no-op window
+        }
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.eviction_ewma(), 0.0, "access-free churn leaked into the EWMA");
+        assert!(!m.is_thrashing(0.5, 0.5));
+        // First real window: one bad sample alone is not sustained churn.
+        s.hits += 1;
+        s.misses += 9;
+        m.observe(&s);
+        assert_eq!(m.samples(), 1);
+        assert!(
+            !m.is_thrashing(0.5, 0.5),
+            "first access window must not emit a thrash verdict off warm-up churn: hit {} ev {}",
+            m.hit_ewma(),
+            m.eviction_ewma()
+        );
     }
 
     #[test]

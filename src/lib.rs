@@ -71,11 +71,12 @@ pub mod prelude {
         evaluate, percentiles, region_lists, run_parallel, run_sequence, run_sequences,
         AdmissionControl, ExecutorConfig, LatencyPercentiles, MultiSessionConfig,
         MultiSessionExecutor, MultiSessionReport, NoPrefetch, Prefetcher, Schedule,
-        SchedulerReport, Session, SessionReport, SessionScheduler, SimContext, TenantReport,
-        TestBed,
+        SchedulerReport, ServeOutcome, Session, SessionReport, SessionScheduler, SimContext,
+        TenantReport, TestBed,
     };
     pub use scout_storage::{
-        CacheStats, DiskProfile, PageCache, PrefetchCache, ShardedCache, SharedClock,
+        BreakerPolicy, CacheStats, DiskProfile, FaultConfig, FaultPlan, FaultReport, IoError,
+        PageCache, PrefetchCache, RetryPolicy, ShardedCache, SharedClock,
     };
     pub use scout_synth::{
         generate_arterial, generate_lung, generate_neurons, generate_roads, generate_sequence,

@@ -373,6 +373,51 @@ fn panicking_session_does_not_deadlock_the_fleet() {
     }
 }
 
+/// ISSUE 8 satellite: the PR 7 panic-containment guarantee must hold
+/// while the disk is actively injecting faults — a session blowing up
+/// mid-observe and a flaky device are independent failure domains, and
+/// neither may mask or amplify the other.
+#[test]
+fn panicking_session_under_fault_injection_is_still_contained() {
+    let (bed, streams) = bed_and_streams(4);
+    let ctx = bed.ctx_rtree();
+    let weather = FaultConfig {
+        seed: 0xBAD5EED,
+        transient_rate: 0.10,
+        corrupt_rate: 0.03,
+        stuck_rate: 0.01,
+        slow_rate: 0.05,
+        slow_multiplier: 8.0,
+    };
+    for workers in [2, 4] {
+        let mut config = ample_config(&bed, 8, Schedule::WorkStealing { workers });
+        config.exec.faults = FaultPlan::injecting(weather);
+        let engine = MultiSessionExecutor::new(config);
+        let mut sessions = scout_sessions(&streams);
+        sessions[2] =
+            Session::new(2, Box::new(Detonator { seen: 0, detonate_at: 3 }), streams[2].clone());
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(&ctx, sessions)));
+        let payload = caught.expect_err(&format!("width {workers} swallowed the session panic"));
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a message");
+        assert!(message.contains("detonated"), "width {workers}: {message}");
+        // Crew and sibling fleets survive: the same engine then runs a
+        // healthy fleet over the same faulty device to completion, and the
+        // report (fault block included) still renders.
+        let report = engine.run(&ctx, scout_sessions(&streams));
+        assert_eq!(report.sessions.len(), 4, "width {workers}");
+        assert!(report.sessions.iter().all(|s| s.queries == 8), "width {workers}");
+        let faults = report.faults.expect("fault injection was enabled");
+        assert_eq!(faults.corruption_served, 0, "width {workers}: corrupt page served");
+        assert!(faults.injected() > 0, "width {workers}: weather never materialized");
+        assert!(report.render().contains("faults:"), "width {workers}");
+    }
+}
+
 #[test]
 fn bounded_admission_staggers_but_completes_everyone() {
     let (bed, streams) = bed_and_streams(6);
