@@ -133,12 +133,13 @@ impl AdaptiveReport {
         // even single-threaded sweeps like this one.
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"window_ratio\": {:.2}, \"cache_pages\": {}, \
-             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, {} }},\n",
+             \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, {}, {} }},\n",
             self.scale,
             self.window_ratio,
             self.cache_pages,
             scout_sim::default_parallelism(),
             crate::faults_json(&self.faults),
+            crate::batch_json(&scout_storage::BatchPlan::default()),
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {

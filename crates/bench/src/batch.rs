@@ -1,0 +1,387 @@
+//! The `fig_batch` sweep: batched I/O submission on/off across crew
+//! widths (ISSUE 9).
+//!
+//! The headline workload is the cross-session coalescing case SCOUT's
+//! shared-structure setting produces naturally: many analysts stepping
+//! through the *same* latent structure issue near-identical demand reads
+//! every round, and §7.1's serve path never populates the cache, so the
+//! unbatched engine re-reads the identical pages once per session per
+//! round. The demand lane single-flights those duplicates — one physical
+//! read, K−1 coalesced waiters — which is where the windows-per-second
+//! headline comes from.
+//!
+//! Three arms, mirrored in `BENCH_batch.json`:
+//!
+//! * **throughput** — 64 sessions replaying one shared stream with no
+//!   prefetching, batch on/off × widths. `windows_per_sec` is windows per
+//!   simulated *device*-second (`disk_busy_us`): the fleet shares one
+//!   disk, so the device-busy time is what bounds sustained throughput,
+//!   and it is the quantity single-flighting shrinks — K duplicate demand
+//!   reads collapse to one physical read. The `coalesced_speedup`
+//!   headline is the width-1 on/off ratio (acceptance: ≥ 1.5×).
+//! * **parity** — under the eviction-free guard of DESIGN.md §5, batched
+//!   runs must reproduce the *unbatched* round-robin oracle's pages-hit
+//!   accounting exactly at every width; mismatches feed the
+//!   `batch_pages_hit_mismatches` CI guard (must stay 0).
+//! * **identity** — batched width-1 reruns are byte-identical, batched
+//!   round-robin ≡ batched width-1 work stealing, and *disabled* batching
+//!   stays byte-identical to the pre-batching engine; failures feed the
+//!   `batch_w1_regressions` CI guard (must stay 0).
+
+use crate::{scale, seed};
+use scout_core::Scout;
+use scout_geometry::QueryRegion;
+use scout_index::SpatialIndex;
+use scout_sim::{
+    AdmissionControl, ExecutorConfig, MultiSessionConfig, MultiSessionExecutor, MultiSessionReport,
+    NoPrefetch, Schedule, Session, TestBed,
+};
+use scout_storage::BatchPlan;
+use scout_synth::{generate_sequences, SequenceParams};
+use std::time::Instant;
+
+/// Sessions in the shared-structure throughput fleet.
+const FLEET: usize = 64;
+
+/// One (width × batching) throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Crew width (work-stealing).
+    pub workers: usize,
+    /// Whether the demand/window batch lanes were enabled.
+    pub batched: bool,
+    /// Wall-clock time of the fleet run, ms (host-dependent; recorded for
+    /// transparency, never part of a guard).
+    pub wall_ms: f64,
+    /// Simulated time the shared disk spent busy, ms.
+    pub disk_busy_ms: f64,
+    /// Prefetch windows (= queries) completed per simulated
+    /// device-second — the throughput the shared disk sustains.
+    pub windows_per_sec: f64,
+    /// Result pages requested across the fleet.
+    pub pages_total: u64,
+    /// Unique pages physically read by the batch lanes (0 when off).
+    pub unique_pages: u64,
+    /// Duplicate requests coalesced behind an in-flight read (0 when off).
+    pub coalesced: u64,
+}
+
+/// One width's parity check: batched totals vs the unbatched round-robin
+/// oracle under the eviction-free guard.
+#[derive(Debug, Clone)]
+pub struct ParityPoint {
+    /// Schedule label (`"rr"` or `"ws"`).
+    pub schedule: &'static str,
+    /// Crew width (1 for round-robin).
+    pub workers: usize,
+    /// Pages hit by the batched run.
+    pub pages_hit: u64,
+    /// Pages hit by the unbatched round-robin oracle.
+    pub oracle_pages_hit: u64,
+    /// Evictions observed (must be 0 for the parity contract to apply).
+    pub evictions: u64,
+}
+
+impl ParityPoint {
+    /// True when this run reproduced the oracle's accounting exactly.
+    pub fn matches(&self) -> bool {
+        self.pages_hit == self.oracle_pages_hit && self.evictions == 0
+    }
+}
+
+/// The width-1 determinism checks (all must hold).
+#[derive(Debug, Clone)]
+pub struct IdentityChecks {
+    /// Two batched round-robin runs render byte-identically.
+    pub batched_rerun_identical: bool,
+    /// Batched width-1 work stealing renders byte-identically to batched
+    /// round-robin.
+    pub batched_ws1_matches_rr: bool,
+    /// With batching *disabled*, width-1 work stealing still renders
+    /// byte-identically to round-robin — the pre-batching contract.
+    pub unbatched_ws1_matches_rr: bool,
+}
+
+/// A full `fig_batch` sweep.
+#[derive(Debug, Clone)]
+pub struct BatchBenchReport {
+    /// Scale factor the sweep ran at.
+    pub scale: f64,
+    /// Sessions in the throughput fleet.
+    pub sessions: usize,
+    /// Queries per session.
+    pub queries_per_session: usize,
+    /// One entry per (width × batching), sweep order.
+    pub throughput: Vec<ThroughputPoint>,
+    /// One parity check per schedule/width.
+    pub parity: Vec<ParityPoint>,
+    /// The width-1 byte-identity checks.
+    pub identity: IdentityChecks,
+}
+
+impl BatchBenchReport {
+    /// Width-1 windows-per-second, batch on over batch off — the
+    /// coalescing headline. Acceptance: ≥ 1.5 on the shared-structure
+    /// fleet.
+    pub fn coalesced_speedup(&self) -> f64 {
+        let at = |batched: bool| {
+            self.throughput
+                .iter()
+                .find(|p| p.workers == 1 && p.batched == batched)
+                .map_or(0.0, |p| p.windows_per_sec)
+        };
+        let off = at(false);
+        if off > 0.0 {
+            at(true) / off
+        } else {
+            0.0
+        }
+    }
+
+    /// Schedules/widths whose batched pages-hit accounting diverged from
+    /// the unbatched oracle — the primary CI guard; must stay 0.
+    pub fn batch_pages_hit_mismatches(&self) -> u64 {
+        self.parity.iter().filter(|p| !p.matches()).count() as u64
+    }
+
+    /// Failed width-1 byte-identity checks — the second CI guard; must
+    /// stay 0.
+    pub fn batch_w1_regressions(&self) -> u64 {
+        u64::from(!self.identity.batched_rerun_identical)
+            + u64::from(!self.identity.batched_ws1_matches_rr)
+            + u64::from(!self.identity.unbatched_ws1_matches_rr)
+    }
+
+    /// Serializes the report as pretty-printed JSON (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{ \"scale\": {:.2}, \"sessions\": {}, \"queries_per_session\": {}, \
+             \"schedule\": \"work-stealing\", \"max_parallelism\": {}, \"seed\": {}, {}, {} }},\n",
+            self.scale,
+            self.sessions,
+            self.queries_per_session,
+            scout_sim::default_parallelism(),
+            seed(),
+            crate::faults_json(&scout_storage::FaultPlan::default()),
+            crate::batch_json(&BatchPlan { enabled: true }),
+        ));
+        out.push_str("  \"throughput\": [\n");
+        for (i, p) in self.throughput.iter().enumerate() {
+            let comma = if i + 1 < self.throughput.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"workers\": {}, \"batched\": {}, \"wall_ms\": {:.1}, \
+                 \"disk_busy_ms\": {:.1}, \"windows_per_sec\": {:.0}, \"pages_total\": {}, \
+                 \"unique_pages\": {}, \"coalesced\": {} }}{}\n",
+                p.workers,
+                p.batched,
+                p.wall_ms,
+                p.disk_busy_ms,
+                p.windows_per_sec,
+                p.pages_total,
+                p.unique_pages,
+                p.coalesced,
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"parity\": [\n");
+        for (i, p) in self.parity.iter().enumerate() {
+            let comma = if i + 1 < self.parity.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"schedule\": \"{}\", \"workers\": {}, \"pages_hit\": {}, \
+                 \"oracle_pages_hit\": {}, \"evictions\": {} }}{}\n",
+                p.schedule, p.workers, p.pages_hit, p.oracle_pages_hit, p.evictions, comma
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"identity\": {{ \"batched_rerun_identical\": {}, \"batched_ws1_matches_rr\": {}, \
+             \"unbatched_ws1_matches_rr\": {} }},\n",
+            self.identity.batched_rerun_identical,
+            self.identity.batched_ws1_matches_rr,
+            self.identity.unbatched_ws1_matches_rr
+        ));
+        out.push_str(&format!(
+            "  \"guard\": {{\n    \"coalesced_speedup\": {:.2},\n    \
+             \"batch_pages_hit_mismatches\": {},\n    \"batch_w1_regressions\": {}\n  }}\n}}\n",
+            self.coalesced_speedup(),
+            self.batch_pages_hit_mismatches(),
+            self.batch_w1_regressions()
+        ));
+        out
+    }
+}
+
+fn engine(
+    exec: ExecutorConfig,
+    shards: usize,
+    schedule: Schedule,
+    batched: bool,
+) -> MultiSessionExecutor {
+    MultiSessionExecutor::new(MultiSessionConfig {
+        exec,
+        shards,
+        schedule,
+        admission: AdmissionControl::unlimited(),
+        batch: BatchPlan { enabled: batched },
+    })
+}
+
+fn run_timed(
+    engine: &MultiSessionExecutor,
+    bed: &TestBed,
+    sessions: Vec<Session>,
+) -> (MultiSessionReport, f64) {
+    let ctx = bed.ctx_rtree();
+    let t0 = Instant::now();
+    let report = engine.run(&ctx, sessions);
+    (report, t0.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// Windows per simulated device-second: the fleet shares one disk, so its
+/// busy time bounds sustained throughput. Single-flighting shrinks exactly
+/// this denominator (K duplicate reads → one physical read).
+fn windows_per_sec(report: &MultiSessionReport) -> f64 {
+    let windows: usize = report.sessions.iter().map(|s| s.queries).sum();
+    if report.disk_busy_us > 0.0 {
+        windows as f64 / (report.disk_busy_us / 1_000_000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Runs the sweep. Deterministic in `seed` for all simulated quantities;
+/// only wall-clock fields vary per host.
+pub fn run(scale_factor: f64, seed: u64) -> BatchBenchReport {
+    // One object per page plus a fat query volume makes result sets
+    // maximally page-rich: every round each session demands a couple of
+    // hundred pages, all identical across the fleet — the duplicate-heavy
+    // regime the demand lane single-flights.
+    let dataset = crate::neuron_dataset_with_objects(20_000);
+    let bed = TestBed::with_page_capacity(dataset, 1);
+    let queries_per_session = ((24.0 * scale_factor).round() as usize).clamp(6, 48);
+    let params = SequenceParams {
+        length: queries_per_session,
+        volume: 640_000.0,
+        ..SequenceParams::sensitivity_default()
+    };
+
+    // --- throughput: FLEET sessions on ONE shared stream, no prefetching.
+    // Serve never inserts (§7.1), so without batching every session
+    // re-reads the full result set from disk every round — the duplicate-
+    // heavy regime the demand lane coalesces.
+    let shared_stream: Vec<QueryRegion> =
+        generate_sequences(&bed.dataset, &params, 1, seed).remove(0).regions;
+    let fleet = |n: usize| -> Vec<Session> {
+        (0..n).map(|id| Session::new(id, Box::new(NoPrefetch), shared_stream.clone())).collect()
+    };
+    let exec = ExecutorConfig::default();
+    let mut throughput = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        for batched in [false, true] {
+            let engine = engine(exec, 16, Schedule::WorkStealing { workers }, batched);
+            let (report, wall_ms) = run_timed(&engine, &bed, fleet(FLEET));
+            let batch = report.batch;
+            throughput.push(ThroughputPoint {
+                workers,
+                batched,
+                wall_ms,
+                disk_busy_ms: report.disk_busy_us / 1_000.0,
+                windows_per_sec: windows_per_sec(&report),
+                pages_total: report.total_pages(),
+                unique_pages: batch.map_or(0, |b| b.unique_pages),
+                coalesced: batch.map_or(0, |b| b.coalesced),
+            });
+        }
+    }
+
+    // --- parity: distinct SCOUT streams under the eviction-free guard
+    // (single shard so per-shard capacity equals the page count, exactly
+    // like the fig_scale guard). The huge window ratio makes the budget
+    // structurally non-binding — the parity precondition: the batched
+    // window lane costs its budget with head-stationary estimates while
+    // the unbatched loop pays evolving actuals, so a binding budget
+    // legitimately stages different tails (DESIGN.md §12). With ample
+    // windows both modes stage every planned page and batched runs at
+    // every width must hit the unbatched round-robin oracle's totals.
+    let ample = ExecutorConfig {
+        window_ratio: 100.0,
+        cache_pages: bed.rtree.layout().page_count(),
+        ..Default::default()
+    };
+    let guard_params = SequenceParams { length: 8, ..SequenceParams::sensitivity_default() };
+    let guard_streams: Vec<Vec<QueryRegion>> =
+        generate_sequences(&bed.dataset, &guard_params, 8, seed ^ 0xB47C)
+            .into_iter()
+            .map(|s| s.regions)
+            .collect();
+    let scouts = |streams: &[Vec<QueryRegion>]| -> Vec<Session> {
+        streams
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                Session::new(id, Box::new(Scout::with_seed(0xBEEF + id as u64)), s.clone())
+            })
+            .collect()
+    };
+    let (oracle, _) =
+        run_timed(&engine(ample, 1, Schedule::RoundRobin, false), &bed, scouts(&guard_streams));
+    let mut parity = Vec::new();
+    let (rr_batched, _) =
+        run_timed(&engine(ample, 1, Schedule::RoundRobin, true), &bed, scouts(&guard_streams));
+    parity.push(ParityPoint {
+        schedule: "rr",
+        workers: 1,
+        pages_hit: rr_batched.total_pages_hit(),
+        oracle_pages_hit: oracle.total_pages_hit(),
+        evictions: rr_batched.cache.evictions.max(oracle.cache.evictions),
+    });
+    for &workers in &[1usize, 2, 4] {
+        let (ws, _) = run_timed(
+            &engine(ample, 1, Schedule::WorkStealing { workers }, true),
+            &bed,
+            scouts(&guard_streams),
+        );
+        parity.push(ParityPoint {
+            schedule: "ws",
+            workers,
+            pages_hit: ws.total_pages_hit(),
+            oracle_pages_hit: oracle.total_pages_hit(),
+            evictions: ws.cache.evictions.max(oracle.cache.evictions),
+        });
+    }
+
+    // --- identity: width-1 byte-for-byte determinism, on and off.
+    let render = |schedule: Schedule, batched: bool| {
+        run_timed(&engine(ample, 1, schedule, batched), &bed, scouts(&guard_streams)).0.render()
+    };
+    let rr_on_a = render(Schedule::RoundRobin, true);
+    let rr_on_b = render(Schedule::RoundRobin, true);
+    let ws1_on = render(Schedule::WorkStealing { workers: 1 }, true);
+    let rr_off = render(Schedule::RoundRobin, false);
+    let ws1_off = render(Schedule::WorkStealing { workers: 1 }, false);
+    let identity = IdentityChecks {
+        batched_rerun_identical: rr_on_a == rr_on_b,
+        batched_ws1_matches_rr: rr_on_a == ws1_on,
+        unbatched_ws1_matches_rr: rr_off == ws1_off,
+    };
+
+    BatchBenchReport {
+        scale: scale_factor,
+        sessions: FLEET,
+        queries_per_session,
+        throughput,
+        parity,
+        identity,
+    }
+}
+
+/// Entry point shared by the bin and the bench target: runs at the
+/// `SCOUT_BENCH_SCALE` scale and returns (report, json).
+pub fn run_default() -> (BatchBenchReport, String) {
+    let report = run(scale(), seed());
+    let json = report.to_json();
+    (report, json)
+}

@@ -1,0 +1,58 @@
+//! Emits the batched-I/O submission artifact.
+//!
+//! Runs the `fig_batch` sweep ([`scout_bench::batch`]): the 64-session
+//! shared-structure fleet with the demand/window batch lanes on and off
+//! across crew widths, the eviction-free pages-hit parity guard against
+//! the unbatched round-robin oracle, and the width-1 byte-identity
+//! checks. Prints the sweep table and writes `BENCH_batch.json` into the
+//! current directory (run from the repo root; CI uploads the file and
+//! fails the job when the `guard` block reports
+//! `batch_pages_hit_mismatches != 0` or `batch_w1_regressions != 0`).
+//!
+//! Run with: `cargo run -p scout-bench --bin batch --release`
+
+use scout_sim::report::Table;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let (report, json) = scout_bench::batch::run_default();
+
+    let mut t = Table::new([
+        "workers",
+        "batched",
+        "wall ms",
+        "disk busy ms",
+        "windows/s",
+        "pages",
+        "unique reads",
+        "coalesced",
+    ]);
+    for p in &report.throughput {
+        t.row([
+            p.workers.to_string(),
+            p.batched.to_string(),
+            format!("{:.0}", p.wall_ms),
+            format!("{:.0}", p.disk_busy_ms),
+            format!("{:.0}", p.windows_per_sec),
+            p.pages_total.to_string(),
+            p.unique_pages.to_string(),
+            p.coalesced.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "coalesced speedup (width 1, on/off): {:.2}x over {} sessions x {} queries",
+        report.coalesced_speedup(),
+        report.sessions,
+        report.queries_per_session
+    );
+    println!(
+        "guard: batch_pages_hit_mismatches = {}, batch_w1_regressions = {}",
+        report.batch_pages_hit_mismatches(),
+        report.batch_w1_regressions()
+    );
+    eprintln!("batch sweep in {:.1?}", t0.elapsed());
+    std::fs::write("BENCH_batch.json", json).expect("write BENCH_batch.json");
+    eprintln!("wrote BENCH_batch.json");
+}

@@ -119,7 +119,7 @@ impl FaultsReport {
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"sequences\": {}, \"queries_per_sequence\": {}, \
              \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, \
-             \"seed\": {}, \"fault_scales\": {:?}, {} }},\n",
+             \"seed\": {}, \"fault_scales\": {:?}, {}, {} }},\n",
             self.scale,
             self.sequences,
             self.queries_per_sequence,
@@ -127,6 +127,7 @@ impl FaultsReport {
             seed(),
             FAULT_SCALES,
             faults_json(&self.plan),
+            crate::batch_json(&scout_storage::BatchPlan::default()),
         ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {

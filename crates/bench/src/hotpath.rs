@@ -217,16 +217,17 @@ impl HotpathReport {
         out.push_str("{\n");
         out.push_str(&format!(
             "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {}, \"tier\": \"{}\", \
-             \"schedule\": \"fork-join\", \"workers\": {}, \"max_parallelism\": {}, {} }},\n",
+             \"schedule\": \"fork-join\", \"workers\": {}, \"max_parallelism\": {}, {}, {} }},\n",
             self.iters,
             self.grid_resolution,
             self.tier,
             self.max_parallelism,
             self.max_parallelism,
             // Kernel timings never touch the simulated disk, so the fault
-            // layer is structurally off; recorded for artifact uniformity
-            // (ISSUE 8: every bench JSON states its fault knobs).
+            // and batch layers are structurally off; recorded for artifact
+            // uniformity (ISSUE 8/9: every bench JSON states its knobs).
             crate::faults_json(&scout_storage::FaultPlan::default()),
+            crate::batch_json(&scout_storage::BatchPlan::default()),
         ));
         out.push_str("  \"datasets\": {\n");
         for (i, d) in self.datasets.iter().enumerate() {

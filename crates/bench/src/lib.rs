@@ -10,11 +10,12 @@
 //! (u64, default 42) for reproducible randomness.
 
 pub mod adaptive;
+pub mod batch;
 pub mod faults;
 pub mod hotpath;
 pub mod scale;
 
-use scout_storage::FaultPlan;
+use scout_storage::{BatchPlan, FaultPlan};
 
 use scout_baselines::{Ewma, HilbertPrefetch, MarkovPrefetcher, Polynomial, StraightLine};
 use scout_core::{Scout, ScoutOpt};
@@ -77,6 +78,14 @@ pub fn faults_json(plan: &FaultPlan) -> String {
             plan.breaker.cooldown_queries,
         ),
     }
+}
+
+/// JSON fragment recording a run's batched-I/O submission knobs
+/// (ISSUE 9). Every bench artifact's `config` block embeds this next to
+/// the fault fragment, so artifacts state whether cross-session
+/// coalescing and elevator submission were in play.
+pub fn batch_json(plan: &BatchPlan) -> String {
+    format!("\"batch\": {{ \"enabled\": {} }}", plan.enabled)
 }
 
 /// Number of sequences per experiment, scaled (paper: 30 for Figure 11/12,

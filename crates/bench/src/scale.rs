@@ -170,7 +170,7 @@ impl ScaleReport {
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"queries_per_session\": {}, \
              \"schedule\": \"work-stealing\", \"workers\": {:?}, \"max_parallelism\": {}, \
-             \"tenants\": {}, \"seed\": {}, {} }},\n",
+             \"tenants\": {}, \"seed\": {}, {}, {} }},\n",
             self.scale,
             self.queries_per_session,
             {
@@ -183,6 +183,7 @@ impl ScaleReport {
             TENANTS,
             seed(),
             crate::faults_json(&self.faults),
+            crate::batch_json(&scout_storage::BatchPlan::default()),
         ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
@@ -303,6 +304,7 @@ pub fn run(scale_factor: f64, seed: u64) -> ScaleReport {
                 shards: 16,
                 schedule: Schedule::WorkStealing { workers },
                 admission: AdmissionControl::unlimited(),
+                ..Default::default()
             });
             let (report, wall_ms) = run_timed(&engine, &bed, build_sessions(count, &streams));
             let sched = report.scheduler.expect("work-stealing attaches counters");

@@ -1,0 +1,146 @@
+//! Fleet-level batched-I/O control (DESIGN.md §12).
+//!
+//! One [`BatchCtl`] per batched fleet run holds the two phase batchers —
+//! the coalescing *demand* lane and the single-owner *window* lane — plus
+//! the per-session window ledgers. Each lane owns its own
+//! [`DiskModel`](scout_storage::DiskModel) sharing the fleet's
+//! [`SharedClock`], so physical batch reads charge the device like any
+//! other read while per-session disks stay free for retry continuations.
+//!
+//! The scheduler drives the round as: every session `serve_stage`s →
+//! **demand submit** at the phase flip → every session `serve_complete`s
+//! and `window_stage`s → **window submit** (and cache publication) at the
+//! flip. Ledger accounting and buffer recycling are deferred past the
+//! gate ([`BatchCtl::finish_window`]), overlapping the next serve phase's
+//! compute — the pipelining half of the tentpole; the next flip's lock
+//! acquisition is the drain point.
+
+use crate::executor::ExecutorConfig;
+use crate::pool::lock_unpoisoned;
+use crate::session::Session;
+use scout_storage::{BatchReport, DiskModel, FaultReport, IoBatcher, ShardedCache, SharedClock};
+use std::sync::{Mutex, PoisonError};
+
+/// Fault-injection salt of the demand-lane batch disk. Session disks are
+/// salted by session id; the reserved top values cannot collide with a
+/// real fleet. Stuck pages are salt-*independent* (a device property), so
+/// a page that is stuck for the batch disk is stuck for every session's
+/// retry continuation too — no lane can "un-stick" another's page.
+const DEMAND_SALT: u64 = u64::MAX;
+/// Fault-injection salt of the window-lane batch disk.
+const WINDOW_SALT: u64 = u64::MAX - 1;
+
+/// One session's share of the window batches resolved so far: actual
+/// successful prefetch reads, credited into the session's `IoStats` at
+/// fleet teardown.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowLedger {
+    io_us: f64,
+    pages: u64,
+    gaps: u64,
+}
+
+/// The batched-I/O state of one fleet run.
+pub(crate) struct BatchCtl {
+    /// Demand lane: coalescing, every waiter records its slot.
+    pub(crate) demand: Mutex<IoBatcher>,
+    /// Window lane: single-owner, duplicates skipped at staging.
+    pub(crate) window: Mutex<IoBatcher>,
+    ledgers: Mutex<Vec<WindowLedger>>,
+}
+
+impl BatchCtl {
+    /// Batch lanes for a fleet of `sessions` sessions, charging `clock`.
+    pub(crate) fn new(config: &ExecutorConfig, clock: &SharedClock, sessions: usize) -> BatchCtl {
+        let lane = |salt: u64| {
+            let mut disk = DiskModel::with_clock(config.disk, clock.clone());
+            if let Some(faults) = config.faults.inject {
+                disk.enable_faults(faults, salt);
+            }
+            IoBatcher::new(disk)
+        };
+        BatchCtl {
+            demand: Mutex::new(lane(DEMAND_SALT)),
+            window: Mutex::new(lane(WINDOW_SALT)),
+            ledgers: Mutex::new(vec![WindowLedger::default(); sessions]),
+        }
+    }
+
+    /// Submits the round's demand batch: first attempts for every staged
+    /// page, elevator order, fault epoch = the round ordinal (so the
+    /// schedule is a pure function of (config, page, round, attempt),
+    /// independent of staging order and crew width).
+    pub(crate) fn submit_demand(&self, round: u64) {
+        let mut lane = lock_unpoisoned(&self.demand);
+        if !lane.is_empty() {
+            lane.submit(1, round);
+        }
+    }
+
+    /// Submits the round's window batch and publishes every successful
+    /// page into the shared cache. Must complete before the next serve
+    /// phase begins — round *i + 1* serves against the membership round
+    /// *i*'s windows left — so the scheduler calls this under the phase
+    /// gate. Also recycles the demand lane (its outcomes were consumed
+    /// during the phase that just ended).
+    pub(crate) fn submit_window(&self, cache: &ShardedCache, round: u64) {
+        lock_unpoisoned(&self.demand).begin_phase();
+        let mut lane = lock_unpoisoned(&self.window);
+        if lane.is_empty() {
+            return;
+        }
+        lane.submit(0, round);
+        for slot in 0..lane.len() as u32 {
+            if lane.outcome_at(slot).is_ok() {
+                cache.insert(lane.page_at(slot));
+            }
+        }
+    }
+
+    /// The deferred half of the window flip: per-owner ledger accounting,
+    /// dropped-prefetch notes for failed speculative reads, and buffer
+    /// recycling. Touches neither the cache nor any session, so the
+    /// scheduler runs it *after* releasing the phase gate — overlapped
+    /// with the next serve phase — and the next flip's lock acquisition
+    /// is the drain point.
+    pub(crate) fn finish_window(&self) {
+        let mut lane = lock_unpoisoned(&self.window);
+        let mut ledgers = lock_unpoisoned(&self.ledgers);
+        for slot in 0..lane.len() as u32 {
+            let (owner, gap) = lane.owner_at(slot);
+            match lane.outcome_at(slot) {
+                Ok(t) => {
+                    let ledger = &mut ledgers[owner as usize];
+                    ledger.io_us += t;
+                    ledger.pages += 1;
+                    if gap {
+                        ledger.gaps += 1;
+                    }
+                }
+                Err(_) => lane.disk_mut().note_dropped_prefetch(),
+            }
+        }
+        lane.begin_phase();
+    }
+
+    /// Fleet teardown: credits the window ledgers into the sessions'
+    /// traces and returns the merged lane counters plus the lanes' fault
+    /// report (`None` when injection was disabled).
+    pub(crate) fn finish(self, sessions: &mut [Session]) -> (BatchReport, Option<FaultReport>) {
+        let demand = self.demand.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let window = self.window.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let ledgers = self.ledgers.into_inner().unwrap_or_else(PoisonError::into_inner);
+        for (session, ledger) in sessions.iter_mut().zip(ledgers) {
+            session.absorb_window_io(ledger.io_us, ledger.pages, ledger.gaps);
+        }
+        let mut report = *demand.report();
+        report.merge(window.report());
+        let mut faults: Option<FaultReport> = None;
+        for lane in [&demand, &window] {
+            if let Some(f) = lane.disk().fault_report() {
+                faults.get_or_insert_with(FaultReport::default).merge(&f);
+            }
+        }
+        (report, faults)
+    }
+}

@@ -15,9 +15,10 @@ use crate::costs::CpuCostModel;
 use crate::prefetcher::{PredictionStats, PrefetchRequest, Prefetcher};
 use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
+use scout_index::QueryResult;
 use scout_storage::{
-    CircuitBreaker, DiskModel, DiskProfile, FaultPlan, FaultReport, IoError, IoStats, PageCache,
-    PrefetchCache,
+    CircuitBreaker, DiskModel, DiskProfile, FaultPlan, FaultReport, IoBatcher, IoError, IoStats,
+    PageCache, PrefetchCache,
 };
 
 /// Executor configuration (one microbenchmark's environment).
@@ -269,9 +270,25 @@ pub(crate) fn serve_and_observe<C: PageCache>(
         return OpenWindow { q, budget_us: 0.0 };
     }
 
+    observe_and_open(ctx, prefetcher, region, &result, config, q, scratch)
+}
+
+/// Phase (2) plus the window-budget computation: the prefetcher digests
+/// the served result and the window opens. Shared tail of
+/// [`serve_and_observe`] and the batched serve-complete path (which
+/// learns its residual I/O only after the demand batch resolves).
+pub(crate) fn observe_and_open(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    region: &QueryRegion,
+    result: &QueryResult,
+    config: &ExecutorConfig,
+    mut q: QueryTrace,
+    scratch: &mut QueryScratch,
+) -> OpenWindow {
     // (2) Prediction. The session's scratch arena rides along so
     // allocation-free prefetchers reuse warmed buffers (DESIGN.md §6).
-    q.prediction = prefetcher.observe_with_scratch(ctx, region, &result, scratch);
+    q.prediction = prefetcher.observe_with_scratch(ctx, region, result, scratch);
     q.graph_build_us = config.costs.graph_build_us(&q.prediction.cpu);
     q.prediction_us = config.costs.prediction_us(&q.prediction.cpu);
 
@@ -351,6 +368,58 @@ pub(crate) fn run_prefetch_window<C: PageCache>(
                         break 'window;
                     }
                 }
+            }
+        }
+    }
+    q
+}
+
+/// Phase (3), batched: stages the prefetcher's prioritized plan into the
+/// fleet's window-lane batcher instead of reading pages one at a time.
+/// The window budget is costed with seek *estimates* from the session's
+/// own head position ([`DiskModel::peek_read_us`]); the physical cost is
+/// paid once, by the elevator-ordered batch read at the phase flip. A
+/// page already staged by a sibling session this phase is skipped without
+/// spending budget — its batch insert makes it visible to every
+/// next-round serve, mirroring the unbatched cache-`contains` skip.
+/// `q.prefetch_pages`/`q.gap_pages` count *staged* pages: a staged read
+/// that fails at submission is dropped like an unbatched speculative
+/// failure, and the io totals (credited from the fleet's window ledgers)
+/// record actual successes.
+pub(crate) fn stage_prefetch_window<C: PageCache>(
+    ctx: &SimContext<'_>,
+    prefetcher: &mut dyn Prefetcher,
+    window: OpenWindow,
+    cache: &C,
+    disk: &DiskModel,
+    batcher: &mut IoBatcher,
+    owner: u32,
+) -> QueryTrace {
+    let OpenWindow { mut q, budget_us: mut budget } = window;
+    if q.outcome.is_failed() {
+        return q;
+    }
+    let plan = prefetcher.plan(ctx);
+    'window: for request in plan.requests {
+        let (pages, is_gap) = match request {
+            PrefetchRequest::Region(r) => (ctx.index.pages_in_region(r.aabb()), false),
+            PrefetchRequest::Pages(p) => (p, false),
+            PrefetchRequest::GapPages(p) => (p, true),
+        };
+        for page in pages {
+            if cache.contains(page) || batcher.contains(page) {
+                continue;
+            }
+            let t = disk.peek_read_us(page);
+            if t > budget {
+                break 'window; // the user issued the next query
+            }
+            let staged = batcher.try_stage(page, owner, is_gap);
+            debug_assert!(staged, "page was absent from the batcher a line ago");
+            budget -= t;
+            q.prefetch_pages += 1;
+            if is_gap {
+                q.gap_pages += 1;
             }
         }
     }

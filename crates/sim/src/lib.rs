@@ -7,6 +7,7 @@
 //! shared sharded cache, the Figure-10 microbenchmark definitions, and
 //! experiment/reporting plumbing.
 
+pub(crate) mod batch;
 pub mod context;
 pub mod costs;
 pub mod executor;

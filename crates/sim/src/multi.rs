@@ -25,14 +25,17 @@
 //! See DESIGN.md §5 and §10 for the precise determinism guarantees of
 //! each mode.
 
+use crate::batch::BatchCtl;
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
 use crate::pool::default_parallelism;
 use crate::prefetcher::GraphBuildCounters;
 use crate::report::{graph_cache_summary, pct, pct_or_na, percentiles, LatencyPercentiles, Table};
-use crate::scheduler::{AdmissionControl, SchedulerReport, SessionScheduler};
+use crate::scheduler::{run_width1_batched, AdmissionControl, SchedulerReport, SessionScheduler};
 use crate::session::Session;
-use scout_storage::{hit_ratio, CacheStats, FaultReport, ShardedCache, SharedClock};
+use scout_storage::{
+    hit_ratio, BatchPlan, BatchReport, CacheStats, FaultReport, ShardedCache, SharedClock,
+};
 use std::sync::Barrier;
 
 /// How the engine schedules its sessions.
@@ -71,6 +74,14 @@ pub struct MultiSessionConfig {
     /// honors it. The default admits everything immediately, preserving
     /// width-1 byte-identity with round-robin.
     pub admission: AdmissionControl,
+    /// Batched I/O submission (DESIGN.md §12): collect each phase's page
+    /// reads, single-flight cross-session duplicates, and submit them in
+    /// seek-aware elevator order. Disabled by default, which keeps every
+    /// schedule on the exact pre-batching code path, byte for byte.
+    /// Supported by [`Schedule::RoundRobin`] and
+    /// [`Schedule::WorkStealing`]; [`Schedule::Threaded`] (the legacy
+    /// reference implementation) rejects it at construction.
+    pub batch: BatchPlan,
 }
 
 impl Default for MultiSessionConfig {
@@ -80,6 +91,7 @@ impl Default for MultiSessionConfig {
             shards: 8,
             schedule: Schedule::RoundRobin,
             admission: AdmissionControl::unlimited(),
+            batch: BatchPlan::default(),
         }
     }
 }
@@ -96,6 +108,10 @@ impl MultiSessionExecutor {
     pub fn new(config: MultiSessionConfig) -> MultiSessionExecutor {
         config.exec.assert_valid();
         assert!(config.shards >= 1, "shard count must be >= 1");
+        assert!(
+            !(config.batch.enabled && matches!(config.schedule, Schedule::Threaded)),
+            "batched I/O requires the round-robin or work-stealing schedule"
+        );
         MultiSessionExecutor { config }
     }
 
@@ -126,10 +142,29 @@ impl MultiSessionExecutor {
         }
         let rounds = sessions.iter().map(Session::query_count).max().unwrap_or(0);
         let exec = &self.config.exec;
+        let batch = self.config.batch.enabled.then(|| BatchCtl::new(exec, &clock, sessions.len()));
         let mut shed: Vec<bool> = vec![false; sessions.len()];
         let mut scheduler: Option<SchedulerReport> = None;
 
         match self.config.schedule {
+            Schedule::RoundRobin if batch.is_some() => {
+                // The deterministic in-order batched loop — the same code
+                // width-1 work-stealing runs. Its scheduler counters are
+                // an M:N artifact and are dropped here, exactly like the
+                // plain round-robin arm never produces any; round-robin
+                // keeps ignoring admission control, so the policy passed
+                // is the always-open default.
+                let ctl = batch.as_ref().expect("guarded by the arm");
+                sessions = run_width1_batched(
+                    ctx,
+                    exec,
+                    cache,
+                    sessions,
+                    AdmissionControl::unlimited(),
+                    ctl,
+                )
+                .sessions;
+            }
             Schedule::RoundRobin => {
                 // Park exhausted sessions: the round loop only visits
                 // sessions with work left, instead of spinning no-op
@@ -177,6 +212,7 @@ impl MultiSessionExecutor {
                     sessions,
                     width,
                     self.config.admission,
+                    batch.as_ref(),
                 );
                 sessions = outcome.sessions;
                 shed = outcome.shed;
@@ -185,7 +221,24 @@ impl MultiSessionExecutor {
             }
         }
 
-        MultiSessionReport::assemble(sessions, shed, cache.stats(), clock.now_us(), scheduler)
+        // Teardown of the batch lanes: credit window ledgers into the
+        // sessions before assembly, and merge the lane disks' fault
+        // counters into the fleet total (retry continuations already live
+        // in the per-session reports).
+        let mut batch_report: Option<BatchReport> = None;
+        let mut batch_faults: Option<FaultReport> = None;
+        if let Some(ctl) = batch {
+            let (report, faults) = ctl.finish(&mut sessions);
+            batch_report = Some(report);
+            batch_faults = faults;
+        }
+        let mut report =
+            MultiSessionReport::assemble(sessions, shed, cache.stats(), clock.now_us(), scheduler);
+        report.batch = batch_report;
+        if let Some(bf) = batch_faults {
+            report.faults.get_or_insert_with(FaultReport::default).merge(&bf);
+        }
+        report
     }
 }
 
@@ -277,6 +330,10 @@ pub struct MultiSessionReport {
     /// report. `None` when fault injection was disabled, which keeps
     /// [`MultiSessionReport::render`] byte-identical to pre-fault runs.
     pub faults: Option<FaultReport>,
+    /// Batched-I/O lane counters (DESIGN.md §12); `None` when batching was
+    /// disabled. Never part of [`MultiSessionReport::render`], so batched
+    /// runs stay render-comparable with unbatched ones.
+    pub batch: Option<BatchReport>,
 }
 
 impl MultiSessionReport {
@@ -348,6 +405,7 @@ impl MultiSessionReport {
             residual: percentiles(&all_residuals),
             scheduler,
             faults,
+            batch: None,
         }
     }
 
@@ -659,6 +717,7 @@ mod tests {
             residual: LatencyPercentiles::default(),
             scheduler: None,
             faults: None,
+            batch: None,
         };
         let s = report.render();
         assert!(s.contains("accesses (n/a)"), "shared-cache line: {s}");

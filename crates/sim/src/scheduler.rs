@@ -49,6 +49,7 @@
 //! all waiters, and the payload is re-raised on the caller. The crew
 //! survives and the scheduler stays usable.
 
+use crate::batch::BatchCtl;
 use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
 use crate::pool::{lock_unpoisoned, worker_loop, Job, PoolShared};
@@ -442,6 +443,9 @@ struct FleetShared<'a, 'w> {
     ctx: &'a SimContext<'w>,
     exec: &'a ExecutorConfig,
     cache: &'a ShardedCache,
+    /// Batched-I/O lanes; `None` runs the exact pre-batching phase
+    /// bodies, byte for byte.
+    batch: Option<&'a BatchCtl>,
     control: AdmissionControl,
     width: usize,
     slots: Vec<SessionSlot>,
@@ -551,13 +555,22 @@ impl FleetShared<'_, '_> {
         // index `idx`, so the exclusive borrow is unique.
         let session = unsafe { &mut *slot.cell.get() };
         let serving = epoch.is_multiple_of(2);
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if serving {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match (self.batch, serving) {
+            (None, true) => {
                 // `false` = stream exhausted (only ever on a session with
                 // fewer queries than the fleet has rounds; it retires).
                 session.serve_observe(self.ctx, &mut &*self.cache, self.exec)
-            } else {
+            }
+            (None, false) => {
                 session.finish_window(self.ctx, &mut &*self.cache, self.exec);
+                !session.is_done()
+            }
+            (Some(batch), true) => {
+                session.serve_stage(self.ctx, &mut &*self.cache, self.exec, &batch.demand)
+            }
+            (Some(batch), false) => {
+                session.serve_complete(self.ctx, self.exec, &batch.demand);
+                session.window_stage(self.ctx, &self.cache, &batch.window, idx as u32);
                 !session.is_done()
             }
         }));
@@ -600,6 +613,19 @@ impl FleetShared<'_, '_> {
         if self.abort.load(Ordering::Relaxed) {
             g.done = true;
         } else {
+            if let Some(batch) = self.batch {
+                // The flip is where staged batches hit the disk: demand
+                // on entering a window phase (sessions consume the
+                // outcomes next), window on entering a serve phase (the
+                // next round serves against the published membership).
+                // Both run while every other worker is parked at the
+                // gate, keyed by the round ordinal `epoch / 2`.
+                if next.is_multiple_of(2) {
+                    batch.submit_window(self.cache, epoch / 2);
+                } else {
+                    batch.submit_demand(epoch / 2);
+                }
+            }
             if next.is_multiple_of(2) {
                 // Entering a serve phase = starting a round.
                 items += self.admit(w, (next & 1) as usize, items == 0);
@@ -614,8 +640,20 @@ impl FleetShared<'_, '_> {
             }
         }
         g.epoch = next;
+        let done = g.done;
         self.gate_cv.notify_all();
-        if g.done {
+        drop(g);
+        // Pipelined tail: the window batch's ledger accounting and buffer
+        // recycling need neither the cache nor any session, so they run
+        // *after* the gate released — overlapped with the serve phase the
+        // sibling workers are already executing. The next flip's window
+        // lock (or fleet teardown) is the drain point.
+        if next.is_multiple_of(2) && !self.abort.load(Ordering::Relaxed) {
+            if let Some(batch) = self.batch {
+                batch.finish_window();
+            }
+        }
+        if done {
             None
         } else {
             Some(next)
@@ -728,6 +766,7 @@ impl SessionScheduler {
     /// Runs a complete multi-session fleet. `workers` is clamped to at
     /// least 1; width 1 takes the deterministic in-order path (the RR
     /// oracle), width > 1 dispatches the work-stealing crew.
+    #[allow(clippy::too_many_arguments)] // one run's full environment
     pub(crate) fn run_fleet(
         &self,
         ctx: &SimContext<'_>,
@@ -736,6 +775,7 @@ impl SessionScheduler {
         sessions: Vec<Session>,
         workers: usize,
         control: AdmissionControl,
+        batch: Option<&BatchCtl>,
     ) -> FleetOutcome {
         control.assert_valid();
         if sessions.is_empty() {
@@ -743,7 +783,10 @@ impl SessionScheduler {
             return FleetOutcome { sessions, shed: Vec::new(), report };
         }
         if workers <= 1 {
-            return run_width1(ctx, exec, cache, sessions, control);
+            return match batch {
+                Some(batch) => run_width1_batched(ctx, exec, cache, sessions, control, batch),
+                None => run_width1(ctx, exec, cache, sessions, control),
+            };
         }
         // Hold the crew for the whole fleet; concurrent fleets queue here.
         // A previous fleet's panic unwound through this guard; the lock
@@ -752,7 +795,10 @@ impl SessionScheduler {
         let extra = self.ensure_workers(workers - 1);
         if extra == 0 {
             drop(_fleet);
-            return run_width1(ctx, exec, cache, sessions, control);
+            return match batch {
+                Some(batch) => run_width1_batched(ctx, exec, cache, sessions, control, batch),
+                None => run_width1(ctx, exec, cache, sessions, control),
+            };
         }
         let width = extra + 1;
         let n = sessions.len();
@@ -762,6 +808,7 @@ impl SessionScheduler {
             ctx,
             exec,
             cache,
+            batch,
             control,
             width,
             slots: sessions.into_iter().map(SessionSlot::new).collect(),
@@ -900,6 +947,75 @@ fn run_width1(
         report.retired += finished as u64;
         // Park accounting matches the W>1 fleet: one park per successful
         // serve (window boundary) + one per session surviving the round.
+        report.parks += served + active.len() as u64;
+        if queue.backlog > 0 {
+            if queue.delay_admission(cache, &control, resident == 0) {
+                report.delayed_rounds += 1;
+            } else {
+                while resident < control.max_resident {
+                    let Some(idx) = queue.take_fair() else { break };
+                    active.push(idx);
+                    resident += 1;
+                    report.admitted += 1;
+                }
+            }
+        }
+    }
+    FleetOutcome { sessions, shed, report }
+}
+
+/// The batched width-1 path: [`run_width1`]'s exact round scaffolding
+/// (admission, parking, retirement accounting) with the phase bodies
+/// replaced by the stage/submit/complete lifecycle. Fully deterministic —
+/// the oracle the batched work-stealing widths are pinned against, and
+/// what [`Schedule::RoundRobin`](crate::Schedule) runs when batching is
+/// enabled.
+pub(crate) fn run_width1_batched(
+    ctx: &SimContext<'_>,
+    exec: &ExecutorConfig,
+    cache: &ShardedCache,
+    mut sessions: Vec<Session>,
+    control: AdmissionControl,
+    batch: &BatchCtl,
+) -> FleetOutcome {
+    let n = sessions.len();
+    let mut queue = AdmissionQueue::new(&sessions, &control);
+    let mut report = SchedulerReport { workers: 1, ..Default::default() };
+    let mut active: Vec<usize> = Vec::new();
+    let mut resident = 0usize;
+    while resident < control.max_resident {
+        let Some(idx) = queue.take_fair() else { break };
+        active.push(idx);
+        resident += 1;
+        report.admitted += 1;
+    }
+    let mut shed = vec![false; n];
+    for idx in queue.shed_over(control.backlog_limit) {
+        shed[idx] = true;
+        report.shed += 1;
+    }
+    let mut round = 0u64;
+    while !active.is_empty() {
+        report.rounds += 1;
+        let mut served = 0u64;
+        for &i in &active {
+            if sessions[i].serve_stage(ctx, &mut &*cache, exec, &batch.demand) {
+                served += 1;
+            }
+        }
+        batch.submit_demand(round);
+        for &i in &active {
+            sessions[i].serve_complete(ctx, exec, &batch.demand);
+            sessions[i].window_stage(ctx, &cache, &batch.window, i as u32);
+        }
+        batch.submit_window(cache, round);
+        batch.finish_window();
+        round += 1;
+        let before = active.len();
+        active.retain(|&i| !sessions[i].is_done());
+        let finished = before - active.len();
+        resident -= finished;
+        report.retired += finished as u64;
         report.parks += served + active.len() as u64;
         if queue.backlog > 0 {
             if queue.delay_admission(cache, &control, resident == 0) {

@@ -18,12 +18,18 @@
 
 use crate::context::SimContext;
 use crate::executor::{
-    run_prefetch_window, serve_and_observe, ExecutorConfig, FaultCtl, OpenWindow, SequenceTrace,
+    observe_and_open, run_prefetch_window, serve_and_observe, stage_prefetch_window,
+    ExecutorConfig, FaultCtl, OpenWindow, QueryTrace, SequenceTrace, ServeOutcome,
 };
+use crate::pool::lock_unpoisoned;
 use crate::prefetcher::Prefetcher;
 use crate::scratch::QueryScratch;
 use scout_geometry::QueryRegion;
-use scout_storage::{DiskModel, FaultReport, PageCache, SharedClock};
+use scout_index::QueryResult;
+use scout_storage::{
+    DiskModel, FailedRead, FaultReport, IoBatcher, PageCache, PageId, SharedClock,
+};
+use std::sync::Mutex;
 
 /// One client: a prefetcher, a query stream, a disk handle and a trace.
 pub struct Session {
@@ -44,6 +50,23 @@ pub struct Session {
     /// Degradation-ladder state (circuit breaker, failed-query counters).
     /// Every touch is a no-op while the disk is fault-free.
     faultctl: FaultCtl,
+    /// Batched mode only: the query parked between `serve_stage` and
+    /// `serve_complete` while its demand batch is in flight.
+    pending: Option<PendingServe>,
+    /// Batched mode only: demand-lane slots this session recorded in the
+    /// current phase (recycled across rounds).
+    staged_slots: Vec<u32>,
+    /// Batched mode only: fan-in buffer for the slots' outcomes.
+    fetched: Vec<(PageId, Result<f64, FailedRead>)>,
+}
+
+/// A query served *into the batcher* but not yet completed: its partial
+/// trace, its result (the prefetcher digests it only after the demand
+/// batch resolves), and the remaining per-query retry deadline.
+struct PendingServe {
+    q: QueryTrace,
+    result: QueryResult,
+    deadline_us: f64,
 }
 
 impl Session {
@@ -64,6 +87,9 @@ impl Session {
             open: None,
             scratch: QueryScratch::new(),
             faultctl: FaultCtl::new(&ExecutorConfig::default()),
+            pending: None,
+            staged_slots: Vec::new(),
+            fetched: Vec::new(),
         }
     }
 
@@ -92,7 +118,7 @@ impl Session {
 
     /// True when every query has fully executed.
     pub fn is_done(&self) -> bool {
-        self.next >= self.regions.len() && self.open.is_none()
+        self.next >= self.regions.len() && self.open.is_none() && self.pending.is_none()
     }
 
     /// Rewinds the session to a cold start: prefetcher history cleared,
@@ -122,6 +148,7 @@ impl Session {
         self.trace = SequenceTrace::default();
         self.next = 0;
         self.open = None;
+        self.pending = None;
     }
 
     /// Serves the next query and lets the prefetcher digest it (timeline
@@ -182,6 +209,164 @@ impl Session {
         self.faultctl.end_query(&self.disk);
         self.trace.queries.push(q);
         self.next += 1;
+    }
+
+    /// Batched timeline phase 1a: classifies the next query's result
+    /// pages — cache hits count immediately; misses are staged into the
+    /// fleet's demand batcher, coalescing with siblings' requests for the
+    /// same page — and parks the query until the batch resolves. Returns
+    /// false when the stream is exhausted (the call is then a no-op).
+    pub(crate) fn serve_stage<C: PageCache>(
+        &mut self,
+        ctx: &SimContext<'_>,
+        cache: &mut C,
+        config: &ExecutorConfig,
+        demand: &Mutex<IoBatcher>,
+    ) -> bool {
+        debug_assert!(
+            self.open.is_none() && self.pending.is_none(),
+            "serve_stage called with a query still in flight"
+        );
+        let Some(region) = self.regions.get(self.next) else {
+            return false;
+        };
+        self.faultctl.begin_query(&mut self.disk, self.next as u64);
+        let mut q = QueryTrace::default();
+        let result = ctx.index.range_query(ctx.objects, region);
+        q.pages_total = result.pages.len();
+        q.result_objects = result.objects.len();
+        q.d_ref_us = {
+            let mut fresh = DiskModel::new(config.disk);
+            result.pages.iter().map(|&p| fresh.read_page(p)).sum::<f64>()
+        };
+        self.staged_slots.clear();
+        let mut coalesced = 0u64;
+        {
+            let mut batch = lock_unpoisoned(demand);
+            for &page in &result.pages {
+                // Batcher first: a staged page cannot be cached (its
+                // first toucher just missed it, and inserts only land at
+                // phase flips), so a duplicate costs one table probe
+                // instead of a shard lock.
+                if batch.contains(page) {
+                    let (slot, _) = batch.stage(page);
+                    coalesced += 1;
+                    self.staged_slots.push(slot);
+                } else if cache.access(page) {
+                    q.pages_hit += 1;
+                    self.trace.io.result_pages_cache += 1;
+                } else {
+                    // `access` above counted the unique physical miss;
+                    // the waiters behind it count as coalesced hits.
+                    let (slot, _) = batch.stage(page);
+                    self.staged_slots.push(slot);
+                }
+            }
+        }
+        if coalesced > 0 {
+            cache.note_coalesced_hits(coalesced);
+        }
+        self.pending =
+            Some(PendingServe { q, result, deadline_us: config.faults.retry.deadline_us });
+        true
+    }
+
+    /// Batched phase 1b, after the demand batch resolved: fans this
+    /// session's outcomes back in — a failed physical read is retried on
+    /// the session's *own* disk (per-waiter retries, per-waiter deadline)
+    /// — charges the residual, digests the result, and opens the prefetch
+    /// window. No-op when nothing is pending.
+    pub(crate) fn serve_complete(
+        &mut self,
+        ctx: &SimContext<'_>,
+        config: &ExecutorConfig,
+        demand: &Mutex<IoBatcher>,
+    ) {
+        let Some(PendingServe { mut q, result, mut deadline_us }) = self.pending.take() else {
+            return;
+        };
+        lock_unpoisoned(demand).copy_outcomes(&self.staged_slots, &mut self.fetched);
+        let fetched = std::mem::take(&mut self.fetched);
+        for &(page, outcome) in &fetched {
+            let served = outcome.or_else(|first| {
+                self.disk.resume_read_retrying(page, first, &config.faults.retry, &mut deadline_us)
+            });
+            match served {
+                Ok(t) => {
+                    q.residual_us += t;
+                    self.trace.io.result_pages_disk += 1;
+                    self.trace.io.residual_io_us += t;
+                }
+                Err(failed) => {
+                    q.residual_us += failed.latency_us;
+                    self.trace.io.residual_io_us += failed.latency_us;
+                    self.trace.io.failed_pages += 1;
+                    q.outcome = ServeOutcome::Failed(failed.error);
+                    break;
+                }
+            }
+        }
+        self.fetched = fetched;
+        q.residual_us += q.pages_total as f64 * config.costs.page_process_us;
+        let window = if q.outcome.is_failed() {
+            OpenWindow { q, budget_us: 0.0 }
+        } else {
+            let region = self.regions[self.next];
+            observe_and_open(
+                ctx,
+                self.prefetcher.as_mut(),
+                &region,
+                &result,
+                config,
+                q,
+                &mut self.scratch,
+            )
+        };
+        self.faultctl.note_served(&window.q);
+        self.open = Some(window);
+    }
+
+    /// Batched phase 3: stages the open window's prefetch plan into the
+    /// fleet's window batcher and commits the query's trace; the physical
+    /// reads (and cache inserts) land at the phase flip. No-op when no
+    /// window is open.
+    pub(crate) fn window_stage<C: PageCache>(
+        &mut self,
+        ctx: &SimContext<'_>,
+        cache: &C,
+        window_lane: &Mutex<IoBatcher>,
+        owner: u32,
+    ) {
+        let Some(window) = self.open.take() else {
+            return;
+        };
+        let q = if self.faultctl.allow_window(&self.disk, &window.q) {
+            let mut batch = lock_unpoisoned(window_lane);
+            stage_prefetch_window(
+                ctx,
+                self.prefetcher.as_mut(),
+                window,
+                cache,
+                &self.disk,
+                &mut batch,
+                owner,
+            )
+        } else {
+            // Breaker open: prefetching (optional work) is shed for this
+            // query; demand serving continues unchanged.
+            window.q
+        };
+        self.faultctl.end_query(&self.disk);
+        self.trace.queries.push(q);
+        self.next += 1;
+    }
+
+    /// Credits this session's share of the resolved window batches
+    /// (called once at fleet teardown from the per-owner ledgers).
+    pub(crate) fn absorb_window_io(&mut self, io_us: f64, pages: u64, gaps: u64) {
+        self.trace.io.prefetch_io_us += io_us;
+        self.trace.io.prefetch_pages_disk += pages;
+        self.trace.io.gap_pages_disk += gaps;
     }
 
     /// Executes one full query (both sub-phases). Returns false when the

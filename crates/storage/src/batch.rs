@@ -1,0 +1,430 @@
+//! Batched I/O submission (ISSUE 9).
+//!
+//! The multi-session engine originally issued every page read
+//! one-at-a-time per session: concurrent sessions following the same
+//! structure re-read the same hot pages in the same phase, and the disk
+//! head thrashed across interleaved per-session request streams. The
+//! [`IoBatcher`] collects the page requests of one scheduler phase,
+//! single-flights duplicates across sessions (one physical read fans its
+//! result — or its `IoError` — out to every waiter), and submits them to
+//! [`DiskModel::read_batch`] in seek-aware elevator order (ascending page
+//! ids, so physically adjacent pages earn the sequential discount).
+//!
+//! Ownership model: the batcher owns its own [`DiskModel`] (sharing the
+//! fleet's [`SharedClock`](crate::SharedClock)), so physical batch reads
+//! charge the device like any other read while per-session disks stay
+//! free for retry continuations. All buffers are recycled across phases
+//! (`begin_phase` keeps capacity), so a warmed batcher runs the
+//! stage → submit → fan-out loop without allocating — pinned by
+//! `tests/zero_alloc.rs`.
+
+use crate::disk::DiskModel;
+use crate::fault::FailedRead;
+use crate::page::PageId;
+
+/// Batched-I/O configuration of a fleet run. Disabled by default: the
+/// engine then takes the exact pre-batching code path, byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchPlan {
+    /// Route demand and prefetch reads through the phase batcher.
+    pub enabled: bool,
+}
+
+impl BatchPlan {
+    /// A plan with batching on.
+    pub fn enabled() -> BatchPlan {
+        BatchPlan { enabled: true }
+    }
+}
+
+/// Counters of one batcher (or, merged, of a whole run's batchers).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchReport {
+    /// Batches submitted to the disk.
+    pub batches: u64,
+    /// Stage requests received (every waiter counts).
+    pub staged: u64,
+    /// Distinct pages physically read.
+    pub unique_pages: u64,
+    /// Stage requests absorbed by an already-pending page (single-flight
+    /// duplicates: `staged - unique_pages` for the demand lane).
+    pub coalesced: u64,
+    /// Simulated device time spent reading batches, µs (failed attempts
+    /// included — the device was busy failing).
+    pub io_us: f64,
+    /// Physical batch reads that returned an error (each fans one
+    /// [`IoError`](crate::IoError) out to every waiter of that page).
+    pub failed_reads: u64,
+}
+
+impl BatchReport {
+    /// Accumulates another report into this one.
+    pub fn merge(&mut self, other: &BatchReport) {
+        self.batches += other.batches;
+        self.staged += other.staged;
+        self.unique_pages += other.unique_pages;
+        self.coalesced += other.coalesced;
+        self.io_us += other.io_us;
+        self.failed_reads += other.failed_reads;
+    }
+}
+
+/// Open-addressed page → slot table with Fibonacci hashing and linear
+/// probing. `HashMap`'s SipHash is the single largest per-duplicate cost
+/// in the staging hot loop; this table cuts a probe to a multiply, a
+/// shift and (almost always) one cache line. Entries pack
+/// `(page id << 32) | (slot + 1)`; 0 marks an empty bucket, so `clear`
+/// is one memset and steady-state phases never allocate.
+#[derive(Debug, Default)]
+struct PageTable {
+    entries: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+/// Same multiplier as the sharded cache: 2^64 / φ, odd.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl PageTable {
+    #[inline]
+    fn bucket(&self, page: PageId) -> usize {
+        debug_assert!(!self.entries.is_empty());
+        ((page.0 as u64).wrapping_mul(HASH_MUL) >> 33) as usize & self.mask
+    }
+
+    /// Looks `page` up; on a miss inserts it mapped to `slot` and returns
+    /// `None`, on a hit returns the existing slot.
+    fn get_or_insert(&mut self, page: PageId, slot: u32) -> Option<u32> {
+        if self.entries.len() < (self.len + 1) * 2 {
+            self.grow();
+        }
+        let mut i = self.bucket(page);
+        loop {
+            let e = self.entries[i];
+            if e == 0 {
+                self.entries[i] = ((page.0 as u64) << 32) | (slot as u64 + 1);
+                self.len += 1;
+                return None;
+            }
+            if (e >> 32) as u32 == page.0 {
+                return Some((e as u32) - 1);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The slot `page` maps to, if staged.
+    fn get(&self, page: PageId) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut i = self.bucket(page);
+        loop {
+            let e = self.entries[i];
+            if e == 0 {
+                return None;
+            }
+            if (e >> 32) as u32 == page.0 {
+                return Some((e as u32) - 1);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.entries.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.entries, vec![0; cap]);
+        self.mask = cap - 1;
+        for e in old {
+            if e == 0 {
+                continue;
+            }
+            let mut i = self.bucket(PageId((e >> 32) as u32));
+            while self.entries[i] != 0 {
+                i = (i + 1) & self.mask;
+            }
+            self.entries[i] = e;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(0);
+        self.len = 0;
+    }
+}
+
+/// Collects the page requests of one scheduler phase and submits them as
+/// one seek-aware batch. Two lanes exist per fleet — demand (coalescing,
+/// every waiter records its slot) and prefetch window (single-owner,
+/// duplicates skipped like the unbatched `contains` check) — each lane
+/// is one `IoBatcher`.
+#[derive(Debug)]
+pub struct IoBatcher {
+    disk: DiskModel,
+    index: PageTable,
+    pages: Vec<PageId>,
+    waiters: Vec<u32>,
+    /// Window lane only: `(owner slot, is_gap)` of the staging session.
+    owners: Vec<(u32, bool)>,
+    outcomes: Vec<Result<f64, FailedRead>>,
+    order: Vec<u32>,
+    report: BatchReport,
+}
+
+impl IoBatcher {
+    /// A batcher submitting through `disk` (attach the fleet clock and
+    /// fault schedule to the disk before handing it over).
+    pub fn new(disk: DiskModel) -> IoBatcher {
+        IoBatcher {
+            disk,
+            index: PageTable::default(),
+            pages: Vec::new(),
+            waiters: Vec::new(),
+            owners: Vec::new(),
+            outcomes: Vec::new(),
+            order: Vec::new(),
+            report: BatchReport::default(),
+        }
+    }
+
+    /// Stages a demand read, coalescing with an already-pending request
+    /// for the same page. Returns `(slot, coalesced)`: the caller records
+    /// the slot to collect its outcome after submission; `coalesced` is
+    /// true when another waiter already owns the physical read.
+    pub fn stage(&mut self, page: PageId) -> (u32, bool) {
+        self.report.staged += 1;
+        let slot = self.pages.len() as u32;
+        match self.index.get_or_insert(page, slot) {
+            Some(existing) => {
+                self.waiters[existing as usize] += 1;
+                self.report.coalesced += 1;
+                (existing, true)
+            }
+            None => {
+                self.pages.push(page);
+                self.waiters.push(1);
+                self.owners.push((0, false));
+                self.report.unique_pages += 1;
+                (slot, false)
+            }
+        }
+    }
+
+    /// Stages a prefetch-window read with a single owner. Returns false
+    /// when the page is already staged this phase — the duplicate is
+    /// skipped entirely, mirroring the unbatched executor's
+    /// cache-`contains` skip (the first stager's insert would have made
+    /// the page visible to later windows).
+    pub fn try_stage(&mut self, page: PageId, owner: u32, gap: bool) -> bool {
+        let slot = self.pages.len() as u32;
+        if self.index.get_or_insert(page, slot).is_some() {
+            return false;
+        }
+        self.report.staged += 1;
+        self.report.unique_pages += 1;
+        self.pages.push(page);
+        self.waiters.push(1);
+        self.owners.push((owner, gap));
+        true
+    }
+
+    /// True when `page` is staged in the current phase.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.get(page).is_some()
+    }
+
+    /// Staged unique pages in the current phase.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The page behind a slot.
+    pub fn page_at(&self, slot: u32) -> PageId {
+        self.pages[slot as usize]
+    }
+
+    /// The window lane's `(owner, is_gap)` tag of a slot.
+    pub fn owner_at(&self, slot: u32) -> (u32, bool) {
+        self.owners[slot as usize]
+    }
+
+    /// Waiters registered on a slot.
+    pub fn waiters_at(&self, slot: u32) -> u32 {
+        self.waiters[slot as usize]
+    }
+
+    /// The submitted outcome of a slot. Panics before `submit`.
+    pub fn outcome_at(&self, slot: u32) -> Result<f64, FailedRead> {
+        self.outcomes[slot as usize]
+    }
+
+    /// Submits the staged pages to the disk in elevator order (ascending
+    /// page id — consecutive ids earn the sequential discount) and
+    /// records one outcome per unique page. `attempt` keys the fault
+    /// draws (1 for demand first attempts, 0 for never-retried prefetch
+    /// reads); `epoch` is the fleet round ordinal, so a fault schedule is
+    /// a pure function of (config, page, round, attempt) — independent of
+    /// staging order and crew width. Returns the batch's device time.
+    pub fn submit(&mut self, attempt: u32, epoch: u64) -> f64 {
+        self.order.clear();
+        self.order.extend(0..self.pages.len() as u32);
+        self.order.sort_unstable_by_key(|&i| self.pages[i as usize].0);
+        self.disk.set_fault_epoch(epoch);
+        let us = self.disk.read_batch(&self.pages, &self.order, attempt, &mut self.outcomes);
+        self.report.batches += 1;
+        self.report.io_us += us;
+        self.report.failed_reads += self.outcomes.iter().filter(|o| o.is_err()).count() as u64;
+        us
+    }
+
+    /// Copies the outcomes of a waiter's recorded slots (with their
+    /// pages) into `out`, clearing it first. One failed physical read
+    /// fans its `IoError` out to every waiter that recorded its slot.
+    pub fn copy_outcomes(&self, slots: &[u32], out: &mut Vec<(PageId, Result<f64, FailedRead>)>) {
+        out.clear();
+        for &slot in slots {
+            out.push((self.pages[slot as usize], self.outcomes[slot as usize]));
+        }
+    }
+
+    /// Forgets the staged phase, keeping every buffer's capacity.
+    pub fn begin_phase(&mut self) {
+        self.index.clear();
+        self.pages.clear();
+        self.waiters.clear();
+        self.owners.clear();
+        self.outcomes.clear();
+        self.order.clear();
+    }
+
+    /// The batcher's disk (fault reports, dropped-prefetch accounting).
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// Mutable access to the batcher's disk.
+    pub fn disk_mut(&mut self) -> &mut DiskModel {
+        &mut self.disk
+    }
+
+    /// Counters so far.
+    pub fn report(&self) -> &BatchReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{DiskProfile, SharedClock};
+    use crate::fault::{FaultConfig, IoError};
+
+    fn batcher() -> IoBatcher {
+        IoBatcher::new(DiskModel::default())
+    }
+
+    #[test]
+    fn duplicates_single_flight_to_one_physical_read() {
+        let mut b = batcher();
+        let (s0, c0) = b.stage(PageId(7));
+        let (s1, c1) = b.stage(PageId(7));
+        let (s2, c2) = b.stage(PageId(9));
+        assert_eq!((s0, c0), (0, false));
+        assert_eq!((s1, c1), (0, true), "second waiter coalesces onto the first");
+        assert_eq!((s2, c2), (1, false));
+        assert_eq!(b.len(), 2, "two unique pages, three stage requests");
+        assert_eq!(b.waiters_at(0), 2);
+        b.submit(1, 0);
+        assert_eq!(b.disk().random_reads() + b.disk().sequential_reads(), 2);
+        let r = b.report();
+        assert_eq!((r.staged, r.unique_pages, r.coalesced), (3, 2, 1));
+    }
+
+    #[test]
+    fn elevator_order_earns_the_sequential_discount() {
+        // Pages staged descending still read ascending: 5 random + rest
+        // sequential, and total batch time reflects the discount.
+        let mut b = batcher();
+        for p in (10u32..15).rev() {
+            b.stage(PageId(p));
+        }
+        let us = b.submit(1, 0);
+        let profile = b.disk().profile();
+        assert_eq!(b.disk().random_reads(), 1, "one seek for the whole ascending run");
+        assert_eq!(b.disk().sequential_reads(), 4);
+        assert_eq!(us, profile.random_read_us + 4.0 * profile.sequential_read_us);
+        // Every slot's outcome carries its own latency.
+        for slot in 0..5 {
+            assert!(b.outcome_at(slot).is_ok());
+        }
+    }
+
+    #[test]
+    fn batch_reads_charge_the_shared_clock() {
+        let clock = SharedClock::new();
+        let mut b = IoBatcher::new(DiskModel::with_clock(DiskProfile::default(), clock.clone()));
+        b.stage(PageId(1));
+        b.stage(PageId(2));
+        let us = b.submit(1, 0);
+        assert!((clock.now_us() - us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_failed_read_fans_one_error_per_waiter() {
+        let cfg = FaultConfig { transient_rate: 1.0, ..FaultConfig::none(3) };
+        let mut disk = DiskModel::default();
+        disk.enable_faults(cfg, u64::MAX);
+        let mut b = IoBatcher::new(disk);
+        let mut slots = Vec::new();
+        for _ in 0..3 {
+            slots.push(b.stage(PageId(42)).0);
+        }
+        b.submit(1, 0);
+        assert_eq!(b.report().failed_reads, 1, "one physical read failed");
+        let mut out = Vec::new();
+        b.copy_outcomes(&slots, &mut out);
+        assert_eq!(out.len(), 3, "every waiter sees the outcome");
+        for (page, outcome) in out {
+            assert_eq!(page, PageId(42));
+            let failed = outcome.expect_err("fanned-out failure");
+            assert_eq!(failed.error, IoError::Transient { page: PageId(42) });
+        }
+        // The device attempted the page once, not once per waiter.
+        assert_eq!(b.disk().fault_report().unwrap().reads_attempted, 1);
+    }
+
+    #[test]
+    fn window_lane_skips_duplicates_entirely() {
+        let mut b = batcher();
+        assert!(b.try_stage(PageId(4), 0, false));
+        assert!(!b.try_stage(PageId(4), 1, true), "second owner skips like a cache hit");
+        assert!(b.try_stage(PageId(5), 1, true));
+        assert_eq!(b.owner_at(0), (0, false), "first stager keeps ownership");
+        assert_eq!(b.owner_at(1), (1, true));
+        assert_eq!(b.report().coalesced, 0, "window lane never coalesces");
+    }
+
+    #[test]
+    fn begin_phase_recycles_buffers_and_schedule_keys_on_round() {
+        let cfg = FaultConfig { transient_rate: 0.5, ..FaultConfig::none(9) };
+        let mut disk = DiskModel::default();
+        disk.enable_faults(cfg, u64::MAX);
+        let mut b = IoBatcher::new(disk);
+        let verdict = |b: &mut IoBatcher, round: u64| {
+            b.begin_phase();
+            b.stage(PageId(8));
+            b.submit(1, round);
+            b.outcome_at(0).is_ok()
+        };
+        let rounds: Vec<bool> = (0..64).map(|r| verdict(&mut b, r)).collect();
+        let rerun: Vec<bool> = (0..64).map(|r| verdict(&mut b, r)).collect();
+        assert_eq!(rounds, rerun, "fault schedule is a pure function of the round");
+        assert!(rounds.iter().any(|ok| *ok) && rounds.iter().any(|ok| !ok));
+        assert!(!b.contains(PageId(99)));
+    }
+}

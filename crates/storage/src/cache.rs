@@ -34,6 +34,7 @@ pub struct PrefetchCache {
     tail: u32,
     hits: u64,
     misses: u64,
+    coalesced_hits: u64,
     insertions: u64,
     evictions: u64,
 }
@@ -51,6 +52,7 @@ impl PrefetchCache {
             tail: NIL,
             hits: 0,
             misses: 0,
+            coalesced_hits: 0,
             insertions: 0,
             evictions: 0,
         }
@@ -147,6 +149,17 @@ impl PrefetchCache {
         self.misses
     }
 
+    /// Accesses absorbed by an in-flight read of the same page (batched
+    /// single-flight; see [`CacheStats::coalesced_hits`]).
+    pub fn coalesced_hits(&self) -> u64 {
+        self.coalesced_hits
+    }
+
+    /// Records `n` coalesced-waiter accesses.
+    pub fn note_coalesced_hits(&mut self, n: u64) {
+        self.coalesced_hits += n;
+    }
+
     /// Total insertions (excluding promotions of already-cached pages).
     pub fn insertions(&self) -> u64 {
         self.insertions
@@ -162,6 +175,7 @@ impl PrefetchCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            coalesced_hits: self.coalesced_hits,
             insertions: self.insertions,
             evictions: self.evictions,
             len: self.len(),
@@ -174,6 +188,7 @@ impl PrefetchCache {
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
+        self.coalesced_hits = 0;
         self.insertions = 0;
         self.evictions = 0;
     }
@@ -188,6 +203,7 @@ impl PrefetchCache {
         self.tail = NIL;
         self.hits = 0;
         self.misses = 0;
+        self.coalesced_hits = 0;
         self.insertions = 0;
         self.evictions = 0;
     }
@@ -256,6 +272,10 @@ impl PageCache for PrefetchCache {
 
     fn reset_stats(&mut self) {
         PrefetchCache::reset_stats(self)
+    }
+
+    fn note_coalesced_hits(&mut self, n: u64) {
+        PrefetchCache::note_coalesced_hits(self, n)
     }
 }
 
@@ -364,6 +384,22 @@ mod tests {
         assert_eq!(s.len, c.len());
         assert_eq!(s.capacity, c.capacity());
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_hits_survive_until_reset() {
+        let mut c = PrefetchCache::new(2);
+        c.access(PageId(1)); // miss
+        c.note_coalesced_hits(2);
+        assert_eq!(c.coalesced_hits(), 2);
+        let s = c.stats();
+        assert_eq!(s.coalesced_hits, 2);
+        assert_eq!(s.accesses(), 3);
+        c.reset_stats();
+        assert_eq!(c.coalesced_hits(), 0);
+        c.note_coalesced_hits(1);
+        c.clear();
+        assert_eq!(c.stats().coalesced_hits, 0);
     }
 
     #[test]

@@ -321,6 +321,135 @@ impl DiskModel {
         unreachable!("loop returns on the final attempt");
     }
 
+    /// Reads a batch of unique pages in the caller-supplied elevator
+    /// order, recording one verified outcome per page. `pages` holds the
+    /// batch in staging order; `order` is a permutation of its indices
+    /// sorted ascending by page id, so runs of physically adjacent pages
+    /// earn the sequential discount regardless of which session staged
+    /// them first. `outcomes[i]` is the result for `pages[i]` (staging
+    /// order, not read order), so waiters resolve by their staged slot.
+    ///
+    /// Each page goes through [`DiskModel::try_read_page`] with the given
+    /// `attempt`: successes move the head and advance the clock like any
+    /// read, failures charge their latency but leave the head in place —
+    /// exactly the single-read contract, just costed in elevator order.
+    /// Returns the batch's total device time (failed attempts included).
+    pub fn read_batch(
+        &mut self,
+        pages: &[PageId],
+        order: &[u32],
+        attempt: u32,
+        outcomes: &mut Vec<Result<f64, FailedRead>>,
+    ) -> f64 {
+        debug_assert_eq!(order.len(), pages.len());
+        outcomes.clear();
+        outcomes.resize(pages.len(), Ok(0.0));
+        let mut total = 0.0;
+        let mut prev = None;
+        for &slot in order {
+            let page = pages[slot as usize];
+            debug_assert!(
+                prev.is_none_or(|p: PageId| p.0 <= page.0),
+                "read_batch order must ascend by page id"
+            );
+            prev = Some(page);
+            let outcome = self.try_read_page(page, attempt);
+            total += match &outcome {
+                Ok(us) => *us,
+                Err(failed) => failed.latency_us,
+            };
+            outcomes[slot as usize] = outcome;
+        }
+        total
+    }
+
+    /// Continues a demand read whose *first* attempt failed elsewhere —
+    /// the per-waiter retry continuation of a coalesced batch read. The
+    /// batch disk made attempt 1 and fanned `first` out to every waiter;
+    /// each waiter then retries on its *own* disk (own salt, own epoch,
+    /// own breaker accounting), so retry schedules stay per-session
+    /// exactly as in the unbatched [`DiskModel::read_page_retrying`].
+    ///
+    /// Mirrors the retrying loop from "attempt 1 already failed": charges
+    /// `first.latency_us` against the deadline, backs off, then runs
+    /// attempts `2..=max_attempts`. The terminal error taxonomy
+    /// (permanent / exhausted / deadline) and all counters match the
+    /// unbatched loop; only the attempt-1 fault draw came from the batch
+    /// disk's schedule instead of this one's.
+    pub fn resume_read_retrying(
+        &mut self,
+        page: PageId,
+        first: FailedRead,
+        policy: &RetryPolicy,
+        deadline_us: &mut f64,
+    ) -> Result<f64, FailedRead> {
+        let mut total = first.latency_us;
+        *deadline_us -= first.latency_us;
+        if first.error.is_permanent() || self.faults.is_none() {
+            return Err(FailedRead { latency_us: total, error: first.error });
+        }
+        let inj = self.faults.as_mut().expect("checked above");
+        if policy.max_attempts <= 1 {
+            inj.report_mut().exhausted += 1;
+            return Err(FailedRead {
+                latency_us: total,
+                error: IoError::AttemptsExhausted { page, attempts: 1 },
+            });
+        }
+        let backoff = policy.backoff_us(inj, page, 1);
+        if *deadline_us <= 0.0 || backoff > *deadline_us {
+            inj.report_mut().timed_out += 1;
+            return Err(FailedRead {
+                latency_us: total,
+                error: IoError::DeadlineExceeded { page },
+            });
+        }
+        total += backoff;
+        *deadline_us -= backoff;
+        let report = inj.report_mut();
+        report.retries += 1;
+        report.backoff_us += backoff;
+        for attempt in 2..=policy.max_attempts {
+            match self.try_read_page(page, attempt) {
+                Ok(us) => {
+                    if let Some(inj) = &mut self.faults {
+                        inj.report_mut().recovered += 1;
+                    }
+                    return Ok(total + us);
+                }
+                Err(failed) => {
+                    total += failed.latency_us;
+                    *deadline_us -= failed.latency_us;
+                    let inj = self.faults.as_mut().expect("armed above");
+                    if failed.error.is_permanent() {
+                        return Err(FailedRead { latency_us: total, error: failed.error });
+                    }
+                    if attempt == policy.max_attempts {
+                        inj.report_mut().exhausted += 1;
+                        return Err(FailedRead {
+                            latency_us: total,
+                            error: IoError::AttemptsExhausted { page, attempts: attempt },
+                        });
+                    }
+                    let backoff = policy.backoff_us(inj, page, attempt);
+                    if *deadline_us <= 0.0 || backoff > *deadline_us {
+                        inj.report_mut().timed_out += 1;
+                        return Err(FailedRead {
+                            latency_us: total,
+                            error: IoError::DeadlineExceeded { page },
+                        });
+                    }
+                    total += backoff;
+                    *deadline_us -= backoff;
+                    let report = inj.report_mut();
+                    report.retries += 1;
+                    report.backoff_us += backoff;
+                }
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
     /// Simulated time to read `n` pages in the best case (one seek, then
     /// streaming) — used to estimate the paper's `d` (time to retrieve one
     /// query's data from disk) without moving the head.
@@ -607,6 +736,150 @@ mod tests {
         assert_eq!(d.random_reads(), 0, "a failed read is not a completed read");
         // Head did not move: the next successful read elsewhere is random.
         assert_eq!(d.peek_read_us(PageId(11)), d.profile().random_read_us);
+    }
+
+    #[test]
+    fn retrying_failed_attempts_charge_the_clock_but_never_move_the_head() {
+        // The retry-loop variant of the pinned try_read_page contract
+        // (shared by the batch path): a read that fails every attempt
+        // charges the device for each attempt yet leaves the head where
+        // it was, so the next successful read still pays a full seek.
+        let cfg = FaultConfig { transient_rate: 1.0, ..FaultConfig::none(1) };
+        let clock = SharedClock::new();
+        let mut d = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        d.enable_faults(cfg, 0);
+        d.read_page(PageId(9)); // park the head at page 9
+        let busy = clock.now_us();
+        let policy = RetryPolicy::default();
+        let mut deadline = f64::INFINITY;
+        let failed = d.read_page_retrying(PageId(10), &policy, &mut deadline).expect_err("fails");
+        assert_eq!(
+            failed.error,
+            IoError::AttemptsExhausted { page: PageId(10), attempts: policy.max_attempts }
+        );
+        // Every failed attempt was device time; backoff was not. With the
+        // head parked on page 9, each attempt at page 10 peeks (and
+        // charges) the sequential rate — and keeps doing so, because no
+        // failed attempt ever moves the head.
+        let attempts_us = policy.max_attempts as f64 * d.profile().sequential_read_us;
+        assert_eq!(clock.now_us() - busy, attempts_us, "device busy failing, idle backing off");
+        assert!(failed.latency_us > attempts_us, "user-visible latency includes backoff");
+        assert_eq!(d.random_reads(), 1, "failed reads never complete");
+        assert_eq!(d.sequential_reads(), 0);
+        // The head never moved off page 9: its successor still peeks
+        // sequential, and the failing page itself still peeks random.
+        assert_eq!(d.peek_read_us(PageId(10)), d.profile().sequential_read_us);
+        assert_eq!(d.peek_read_us(PageId(11)), d.profile().random_read_us);
+    }
+
+    #[test]
+    fn read_batch_costs_the_elevator_order_and_reports_per_slot() {
+        let clock = SharedClock::new();
+        let mut d = DiskModel::with_clock(DiskProfile::default(), clock.clone());
+        // Staged out of order; order indices sort them ascending.
+        let pages = [PageId(30), PageId(10), PageId(31), PageId(11), PageId(12)];
+        let order = [1u32, 3, 4, 0, 2]; // 10, 11, 12, 30, 31
+        let mut outcomes = Vec::new();
+        let total = d.read_batch(&pages, &order, 1, &mut outcomes);
+        assert_eq!(d.random_reads(), 2, "two ascending runs, two seeks");
+        assert_eq!(d.sequential_reads(), 3);
+        let expect = 2.0 * d.profile().random_read_us + 3.0 * d.profile().sequential_read_us;
+        assert_eq!(total, expect);
+        assert!((clock.now_us() - expect).abs() < 1e-9);
+        // Outcomes line up with staging order, not read order.
+        assert_eq!(outcomes[0].unwrap(), d.profile().random_read_us); // 30: new run
+        assert_eq!(outcomes[1].unwrap(), d.profile().random_read_us); // 10: first read
+        assert_eq!(outcomes[2].unwrap(), d.profile().sequential_read_us); // 31 follows 30
+        assert_eq!(outcomes[3].unwrap(), d.profile().sequential_read_us); // 11 follows 10
+        assert_eq!(outcomes[4].unwrap(), d.profile().sequential_read_us); // 12 follows 11
+    }
+
+    #[test]
+    fn read_batch_failures_charge_time_but_keep_the_run_going() {
+        // Page 1 stuck: its read fails mid-run, charging latency without
+        // moving the head, so page 2 pays a random read (the head is
+        // still on page 0), exactly like back-to-back try_read_page.
+        let mut oracle = DiskModel::default();
+        oracle.enable_faults(FaultConfig { stuck_rate: 0.8, ..FaultConfig::none(17) }, 0);
+        let stuck = (1u32..64)
+            .find(|&p| oracle.try_read_page(PageId(p), 1).is_err())
+            .expect("80 % stuck rate must hit one of 63 pages");
+
+        let mut d = DiskModel::default();
+        d.enable_faults(FaultConfig { stuck_rate: 0.8, ..FaultConfig::none(17) }, 0);
+        let mut expect = DiskModel::default();
+        expect.enable_faults(FaultConfig { stuck_rate: 0.8, ..FaultConfig::none(17) }, 0);
+        let pages: Vec<PageId> = (0..=stuck + 1).map(PageId).collect();
+        let order: Vec<u32> = (0..pages.len() as u32).collect();
+        let mut outcomes = Vec::new();
+        let total = d.read_batch(&pages, &order, 1, &mut outcomes);
+        let mut expect_total = 0.0;
+        for (i, &page) in pages.iter().enumerate() {
+            let one = expect.try_read_page(page, 1);
+            expect_total += match &one {
+                Ok(us) => *us,
+                Err(f) => f.latency_us,
+            };
+            assert_eq!(outcomes[i], one, "batch read of page {} diverged", page.0);
+        }
+        assert_eq!(total, expect_total);
+        assert_eq!(d.random_reads(), expect.random_reads());
+        assert_eq!(d.sequential_reads(), expect.sequential_reads());
+    }
+
+    #[test]
+    fn resume_matches_the_retry_loop_after_a_foreign_first_failure() {
+        // Oracle: the full retry loop on one disk. Subject: attempt 1
+        // taken separately (the "batch" read), then resume_read_retrying
+        // for attempts 2..=max on an identically-seeded disk. Totals,
+        // outcomes, deadlines and counters must all agree.
+        let policy = RetryPolicy::default();
+        for seed in [3u64, 11, 29, 47] {
+            let cfg = FaultConfig { transient_rate: 0.6, ..FaultConfig::none(seed) };
+            for p in 0..32u32 {
+                let page = PageId(p);
+                let mut oracle = DiskModel::default();
+                oracle.enable_faults(cfg, 0);
+                let mut oracle_deadline = policy.deadline_us;
+                let want = oracle.read_page_retrying(page, &policy, &mut oracle_deadline);
+
+                let mut d = DiskModel::default();
+                d.enable_faults(cfg, 0);
+                let mut deadline = policy.deadline_us;
+                let got = match d.try_read_page(page, 1) {
+                    Ok(us) => Ok(us),
+                    Err(first) => d.resume_read_retrying(page, first, &policy, &mut deadline),
+                };
+                assert_eq!(got, want, "seed {seed} page {p}");
+                if want.is_err() {
+                    assert_eq!(deadline, oracle_deadline, "seed {seed} page {p}");
+                    assert_eq!(d.fault_report(), oracle.fault_report(), "seed {seed} page {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_surfaces_permanent_and_faultless_failures_as_is() {
+        let policy = RetryPolicy::default();
+        // A stuck first attempt is never retried: latency passes through.
+        let mut d = DiskModel::default();
+        d.enable_faults(FaultConfig::none(1), 0);
+        let first = FailedRead { latency_us: 50.0, error: IoError::Stuck { page: PageId(7) } };
+        let mut deadline = policy.deadline_us;
+        let failed = d.resume_read_retrying(PageId(7), first, &policy, &mut deadline).unwrap_err();
+        assert_eq!(failed.error, IoError::Stuck { page: PageId(7) });
+        assert_eq!(failed.latency_us, 50.0);
+        assert_eq!(deadline, policy.deadline_us - 50.0);
+        assert_eq!(d.fault_report().unwrap().retries, 0);
+        // A disk without an injector cannot retry (nothing to draw
+        // backoff jitter from): the first failure is final.
+        let mut plain = DiskModel::default();
+        let first = FailedRead { latency_us: 9.0, error: IoError::Transient { page: PageId(1) } };
+        let mut deadline = policy.deadline_us;
+        let failed =
+            plain.resume_read_retrying(PageId(1), first, &policy, &mut deadline).unwrap_err();
+        assert_eq!(failed.error, IoError::Transient { page: PageId(1) });
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! in for the paper's 4-disk SAS stripe (see DESIGN.md §2 for why this
 //! substitution preserves the evaluation's shape).
 
+pub mod batch;
 pub mod cache;
 pub mod disk;
 pub mod fault;
@@ -18,6 +19,7 @@ pub mod sharded;
 pub mod stats;
 pub mod thrash;
 
+pub use batch::{BatchPlan, BatchReport, IoBatcher};
 pub use cache::PrefetchCache;
 pub use disk::{DiskModel, DiskProfile, SharedClock, SimClock};
 pub use fault::{

@@ -25,6 +25,12 @@ pub struct CacheStats {
     pub hits: u64,
     /// Accesses that did not.
     pub misses: u64,
+    /// Accesses absorbed by an already-in-flight read of the same page
+    /// (batched I/O single-flight): one physical miss serving N waiters
+    /// counts 1 miss plus N−1 coalesced hits. The page was not in the
+    /// cache — so these are not `hits` — but only one device read was
+    /// paid, so the hit ratio counts them as served-without-I/O.
+    pub coalesced_hits: u64,
     /// Fresh insertions (promotions of already-cached pages excluded).
     pub insertions: u64,
     /// Pages evicted to make room.
@@ -36,14 +42,16 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Total accesses recorded (`hits + misses`).
+    /// Total accesses recorded (`hits + coalesced_hits + misses`).
     pub fn accesses(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.coalesced_hits + self.misses
     }
 
-    /// Fraction of accesses served from the cache; 0 when none happened.
+    /// Fraction of accesses that cost no device read: cache hits plus
+    /// coalesced waiters on another session's in-flight miss, over all
+    /// accesses; 0 when none happened.
     pub fn hit_rate(&self) -> f64 {
-        crate::stats::hit_ratio(self.hits, self.accesses())
+        crate::stats::hit_ratio(self.hits + self.coalesced_hits, self.accesses())
     }
 
     /// Fraction of the capacity in use.
@@ -94,6 +102,13 @@ pub trait PageCache {
     /// multi-session reporter uses this to measure a run over a pre-warmed
     /// cache without the warm-up skewing the numbers.
     fn reset_stats(&mut self);
+
+    /// Records `n` accesses absorbed by an in-flight read of the same
+    /// page (batched single-flight). Implementations without a coalescing
+    /// front end keep the default no-op.
+    fn note_coalesced_hits(&mut self, n: u64) {
+        let _ = n;
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +121,21 @@ mod tests {
         assert_eq!(s.accesses(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_waiters_count_one_miss_and_n_minus_one_hits() {
+        // The single-flight accounting contract: three sessions demand
+        // the same uncached page in one phase — one physical miss, two
+        // coalesced hits. With one real hit on top, 3 of 4 accesses cost
+        // no device read.
+        let s = CacheStats { hits: 1, misses: 1, coalesced_hits: 2, ..Default::default() };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        // Coalesced hits alone never report a perfect ratio: the one
+        // physical miss stays visible.
+        let s = CacheStats { misses: 1, coalesced_hits: 2, ..Default::default() };
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

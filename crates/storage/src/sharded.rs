@@ -47,6 +47,7 @@ pub struct ShardedCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced_hits: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
 }
@@ -80,6 +81,7 @@ impl ShardedCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced_hits: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -137,6 +139,13 @@ impl ShardedCache {
         lock_shard(&self.shards[self.shard_of(page)]).contains(page)
     }
 
+    /// Records `n` accesses absorbed by an in-flight read of the same
+    /// page (batched single-flight; see [`CacheStats::coalesced_hits`]).
+    /// Counter-only — touches no shard lock.
+    pub fn note_coalesced_hits(&self, n: u64) {
+        self.coalesced_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of cached pages, summed over shards.
     ///
     /// Under concurrent mutation this is a momentary sum, not a linearizable
@@ -162,6 +171,7 @@ impl ShardedCache {
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.coalesced_hits.store(0, Ordering::Relaxed);
         self.insertions.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
@@ -171,6 +181,7 @@ impl ShardedCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.len(),
@@ -222,6 +233,10 @@ macro_rules! delegate_page_cache {
 
             fn reset_stats(&mut self) {
                 ShardedCache::reset_stats(self)
+            }
+
+            fn note_coalesced_hits(&mut self, n: u64) {
+                ShardedCache::note_coalesced_hits(self, n)
             }
         }
     };
@@ -320,6 +335,9 @@ mod tests {
         c.insert(PageId(1));
         c.access(PageId(1));
         c.access(PageId(2));
+        c.note_coalesced_hits(3);
+        assert_eq!(c.stats().coalesced_hits, 3);
+        assert_eq!(c.stats().accesses(), 5);
         c.reset_stats();
         assert_eq!(c.stats().accesses(), 0);
         assert!(c.contains(PageId(1)), "reset_stats must keep contents");

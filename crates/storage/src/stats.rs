@@ -15,11 +15,12 @@ pub fn hit_ratio(hits: u64, total: u64) -> f64 {
 }
 
 impl CacheStats {
-    /// Fraction of accesses served from the cache, 0 when none were
-    /// recorded. Alias of [`CacheStats::hit_rate`] expressed through the
-    /// shared [`hit_ratio`] helper.
+    /// Fraction of accesses served without a device read (cache hits plus
+    /// coalesced waiters), 0 when none were recorded. Alias of
+    /// [`CacheStats::hit_rate`] expressed through the shared [`hit_ratio`]
+    /// helper.
     pub fn hit_ratio(&self) -> f64 {
-        hit_ratio(self.hits, self.accesses())
+        hit_ratio(self.hits + self.coalesced_hits, self.accesses())
     }
 }
 
@@ -88,9 +89,13 @@ mod tests {
     fn hit_ratio_guards_zero_total() {
         assert_eq!(hit_ratio(0, 0), 0.0);
         assert_eq!(hit_ratio(3, 4), 0.75);
-        // CacheStats alias agrees with hit_rate on the same counters.
+        // CacheStats alias agrees with hit_rate on the same counters,
+        // coalesced waiters included.
         let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
         assert_eq!(s.hit_ratio(), s.hit_rate());
+        let s = CacheStats { hits: 1, misses: 1, coalesced_hits: 2, ..Default::default() };
+        assert_eq!(s.hit_ratio(), s.hit_rate());
+        assert_eq!(s.hit_ratio(), 0.75);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
     }
 

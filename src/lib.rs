@@ -75,8 +75,8 @@ pub mod prelude {
         TenantReport, TestBed,
     };
     pub use scout_storage::{
-        BreakerPolicy, CacheStats, DiskProfile, FaultConfig, FaultPlan, FaultReport, IoError,
-        PageCache, PrefetchCache, RetryPolicy, ShardedCache, SharedClock,
+        BatchPlan, BatchReport, BreakerPolicy, CacheStats, DiskProfile, FaultConfig, FaultPlan,
+        FaultReport, IoError, PageCache, PrefetchCache, RetryPolicy, ShardedCache, SharedClock,
     };
     pub use scout_synth::{
         generate_arterial, generate_lung, generate_neurons, generate_roads, generate_sequence,

@@ -48,6 +48,7 @@ fn chaos_config(bed: &TestBed, schedule: Schedule, faults: FaultPlan) -> MultiSe
         shards: 8,
         schedule,
         admission: AdmissionControl::unlimited(),
+        ..Default::default()
     }
 }
 
@@ -222,6 +223,136 @@ fn width_two_and_four_preserve_the_interleaving_invariants() {
             assert_eq!(sf.failed_queries, 0, "width {workers}: a slow read failed a query");
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 9: batched I/O submission under fault injection
+// ---------------------------------------------------------------------------
+
+/// `chaos_config` with the demand/window batch lanes enabled.
+fn batched_chaos_config(
+    bed: &TestBed,
+    schedule: Schedule,
+    faults: FaultPlan,
+) -> MultiSessionConfig {
+    MultiSessionConfig { batch: BatchPlan { enabled: true }, ..chaos_config(bed, schedule, faults) }
+}
+
+#[test]
+fn batched_any_fault_seed_survives_every_width() {
+    // The batched mirror of `any_fault_seed_survives_every_width`: the
+    // same 8 seeds × widths 1/2/4 liveness-and-safety sweep with the
+    // demand/window lanes turned on. Coalesced failures fan out to every
+    // waiter as a clean `ServeOutcome::Failed`, never a stall, and the
+    // verified read path still catches every corrupt page.
+    let (bed, streams) = bed_and_streams(4);
+    let ctx = bed.ctx_rtree();
+    for seed in [1u64, 2, 3, 5, 8, 13, 0xDEAD, 0xC0FFEE] {
+        for workers in [1usize, 2, 4] {
+            let config = batched_chaos_config(
+                &bed,
+                Schedule::WorkStealing { workers },
+                FaultPlan::injecting(rough_weather(seed)),
+            );
+            let report = MultiSessionExecutor::new(config).run(&ctx, scout_sessions(&streams));
+            assert!(
+                report.sessions.iter().all(|s| s.queries == 8),
+                "seed {seed:#x} width {workers}: a session stalled under batching"
+            );
+            let faults = report.faults.expect("fault injection was enabled");
+            assert_eq!(
+                faults.corruption_served, 0,
+                "seed {seed:#x} width {workers}: corrupt page served under batching"
+            );
+            assert!(faults.injected() > 0, "seed {seed:#x} width {workers}: no faults injected");
+            assert!(report.batch.expect("batch report").batches > 0);
+        }
+    }
+}
+
+#[test]
+fn batched_fault_seed_reruns_byte_identically_at_width_one() {
+    let (bed, streams) = bed_and_streams(4);
+    let ctx = bed.ctx_rtree();
+    let plan = FaultPlan::injecting(rough_weather(0xFEED));
+    let rr = MultiSessionExecutor::new(batched_chaos_config(&bed, Schedule::RoundRobin, plan));
+    let a = rr.run(&ctx, scout_sessions(&streams)).render();
+    let b = rr.run(&ctx, scout_sessions(&streams)).render();
+    assert_eq!(a, b, "batched same-seed rerun diverged");
+    let ws = MultiSessionExecutor::new(batched_chaos_config(
+        &bed,
+        Schedule::WorkStealing { workers: 1 },
+        plan,
+    ));
+    let c = ws.run(&ctx, scout_sessions(&streams)).render();
+    assert_eq!(a, c, "batched width-1 work stealing diverged from batched round-robin");
+}
+
+#[test]
+fn coalesced_failure_fans_one_error_to_every_waiter() {
+    // K sessions replaying the *same* stream over a device where stuck
+    // pages are common. Stuck pages are a device property — keyed on
+    // (seed, page), independent of which lane's disk touches them — so a
+    // page the batch disk cannot read is equally unreadable by every
+    // waiter's per-session retry continuation. Each waiter must therefore
+    // fail the *same* queries: one `IoError` per waiter, identical
+    // per-session failure counts, and retries charged per waiter (K
+    // sessions × own retry ladder), not once per batch.
+    let (bed, streams) = bed_and_streams(1);
+    let ctx = bed.ctx_rtree();
+    let shared = streams[0].clone();
+    let k = 4usize;
+    let weather = FaultConfig {
+        seed: 7,
+        transient_rate: 0.0,
+        corrupt_rate: 0.0,
+        stuck_rate: 0.34,
+        slow_rate: 0.0,
+        slow_multiplier: 1.0,
+    };
+    let sessions: Vec<Session> =
+        (0..k).map(|id| Session::new(id, Box::new(NoPrefetch), shared.clone())).collect();
+    let report = MultiSessionExecutor::new(batched_chaos_config(
+        &bed,
+        Schedule::RoundRobin,
+        FaultPlan::injecting(weather),
+    ))
+    .run(&ctx, sessions);
+    assert!(report.sessions.iter().all(|s| s.queries == shared.len()), "a waiter stalled");
+    let per_session: Vec<u64> = report
+        .sessions
+        .iter()
+        .map(|s| s.faults.as_ref().expect("fault injection was enabled").failed_queries)
+        .collect();
+    assert!(per_session[0] > 0, "a 34% stuck device failed no queries");
+    assert!(
+        per_session.iter().all(|&f| f == per_session[0]),
+        "identical waiters must fail identically: {per_session:?}"
+    );
+    // Retries are per-waiter: every session walked its own retry ladder
+    // against the shared stuck pages, so the fleet total is K times a
+    // single session's, never one ladder amortized across the batch.
+    let solo = MultiSessionExecutor::new(batched_chaos_config(
+        &bed,
+        Schedule::RoundRobin,
+        FaultPlan::injecting(weather),
+    ))
+    .run(&ctx, vec![Session::new(0, Box::new(NoPrefetch), shared.clone())]);
+    let solo_failed =
+        solo.sessions[0].faults.as_ref().expect("fault injection was enabled").failed_queries;
+    assert_eq!(per_session[0], solo_failed, "fan-out changed which queries fail");
+    let session_retries: u64 = report
+        .sessions
+        .iter()
+        .map(|s| s.faults.as_ref().expect("fault injection was enabled").retries)
+        .sum();
+    let solo_retries =
+        solo.sessions[0].faults.as_ref().expect("fault injection was enabled").retries;
+    assert_eq!(
+        session_retries,
+        solo_retries * k as u64,
+        "per-waiter retry ladders must not be amortized across the batch"
+    );
 }
 
 #[test]

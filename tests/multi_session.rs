@@ -46,6 +46,7 @@ fn ample_config(bed: &TestBed, shards: usize, schedule: Schedule) -> MultiSessio
         shards,
         schedule,
         admission: AdmissionControl::unlimited(),
+        ..Default::default()
     }
 }
 

@@ -305,4 +305,56 @@ fn steady_state_graph_build_allocates_nothing() {
     // And the measured laps exercised a live model and controller.
     assert!(hybrid.markov().transitions() > 0, "Markov model never trained");
     assert!(hybrid.controller().observations() >= 3 * regions.len() as u64);
+
+    // --- Batch queue steady state (ISSUE 9) --------------------------------
+    //
+    // One round of the batched I/O lane — stage a phase's pages (unique
+    // misses, coalesced duplicates, and owner-tagged window requests),
+    // submit in elevator order, fan outcomes back out, recycle — must
+    // allocate nothing once the slot/waiter/outcome buffers and the
+    // single-flight page table have warmed to the phase's high-water
+    // occupancy.
+    use scout::storage::{DiskModel, DiskProfile, IoBatcher, PageId};
+    let mut batcher = IoBatcher::new(DiskModel::new(DiskProfile::default()));
+    let mut fetched: Vec<(PageId, Result<f64, scout::storage::FailedRead>)> = Vec::new();
+    let mut slots: Vec<u32> = Vec::new();
+    let round = |batcher: &mut IoBatcher,
+                 slots: &mut Vec<u32>,
+                 fetched: &mut Vec<(PageId, Result<f64, scout::storage::FailedRead>)>,
+                 epoch: u64| {
+        slots.clear();
+        // Staged in descending order so the elevator sort does real work;
+        // every page staged twice, so the coalescing table fans out.
+        for p in (0..96u32).rev() {
+            let (slot, _) = batcher.stage(PageId(p));
+            slots.push(slot);
+            let (dup, coalesced) = batcher.stage(PageId(p));
+            assert_eq!(dup, slot);
+            assert!(coalesced);
+        }
+        for p in 96..128u32 {
+            assert!(batcher.try_stage(PageId(p), p, p.is_multiple_of(2)));
+        }
+        let io_us = batcher.submit(1, epoch);
+        std::hint::black_box(io_us);
+        batcher.copy_outcomes(slots, fetched);
+        assert_eq!(fetched.len(), 96);
+        batcher.begin_phase();
+    };
+    round(&mut batcher, &mut slots, &mut fetched, 0);
+    let before = allocations();
+    for epoch in 1..4u64 {
+        round(&mut batcher, &mut slots, &mut fetched, epoch);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "batch-queue round allocated {} times in steady state",
+        after - before
+    );
+    let report = batcher.report();
+    assert_eq!(report.batches, 4);
+    assert_eq!(report.unique_pages, 4 * 128);
+    assert_eq!(report.coalesced, 4 * 96);
 }
