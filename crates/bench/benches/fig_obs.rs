@@ -1,0 +1,27 @@
+//! Flight-recorder telemetry overhead and determinism (no counterpart
+//! figure in the paper; observability of the engine itself, ISSUE 10).
+//!
+//! This bench target runs the sweep at a heavily reduced scale as the
+//! compile + smoke check; the `obs` bin produces the full
+//! `BENCH_obs.json` artifact CI uploads and guards.
+
+use scout_bench::obs;
+
+fn main() {
+    println!("== flight-recorder telemetry (reduced: 20-session fleet) ==\n");
+    let report = obs::run(0.02, scout_bench::seed());
+    println!(
+        "disarmed {:.0} windows/s, armed {:.0} windows/s (ratio {:.3})",
+        report.disarmed.windows_per_sec,
+        report.armed.windows_per_sec,
+        report.armed_ratio(),
+    );
+    println!("{} events retained, {} dropped", report.events, report.dropped_events);
+    assert_eq!(
+        report.telemetry_disabled_mismatches(),
+        0,
+        "armed telemetry leaked into a report render"
+    );
+    assert_eq!(report.jsonl_rerun_mismatches(), 0, "armed W1 event stream was not deterministic");
+    println!("guard ok: renders identical armed/disarmed; W1 JSONL deterministic");
+}

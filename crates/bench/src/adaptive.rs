@@ -128,6 +128,7 @@ impl AdaptiveReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&crate::meta_json("adaptive"));
         // schedule/workers/max_parallelism make cross-run comparisons
         // interpretable: every bench JSON records how it was scheduled,
         // even single-threaded sweeps like this one.

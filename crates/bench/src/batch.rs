@@ -156,6 +156,7 @@ impl BatchBenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&crate::meta_json("batch"));
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"sessions\": {}, \"queries_per_session\": {}, \
              \"schedule\": \"work-stealing\", \"max_parallelism\": {}, \"seed\": {}, {}, {} }},\n",

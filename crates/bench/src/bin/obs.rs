@@ -1,0 +1,53 @@
+//! Emits the flight-recorder telemetry artifact.
+//!
+//! Runs the `fig_obs` sweep ([`scout_bench::obs`]): the fig_scale-style
+//! fleet with telemetry disarmed vs armed (overhead), the render
+//! byte-identity checks (armed telemetry must be invisible in every
+//! report), and the armed width-1 JSONL event-stream byte-identity
+//! checks. Prints the summary and writes `BENCH_obs.json` into the
+//! current directory (run from the repo root; CI uploads the file and
+//! fails the job when the `guard` block reports
+//! `telemetry_disabled_mismatches != 0`, `jsonl_rerun_mismatches != 0`,
+//! or `telemetry_overhead_regressions != 0`).
+//!
+//! Run with: `cargo run -p scout-bench --bin obs --release`
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let (report, json) = scout_bench::obs::run_default();
+
+    println!(
+        "overhead: disarmed {:.0} windows/s, armed {:.0} windows/s (ratio {:.3}) over {} \
+         sessions x {} queries, {} workers",
+        report.disarmed.windows_per_sec,
+        report.armed.windows_per_sec,
+        report.armed_ratio(),
+        report.sessions,
+        report.queries_per_session,
+        report.workers,
+    );
+    println!(
+        "flight: {} events ({} dropped), {} queries served, {} windows opened, {} pages \
+         prefetched",
+        report.events,
+        report.dropped_events,
+        report.queries_served,
+        report.windows_opened,
+        report.prefetch_pages,
+    );
+    for line in &report.excerpt {
+        println!("  {line}");
+    }
+    println!(
+        "guard: telemetry_disabled_mismatches = {}, jsonl_rerun_mismatches = {}, \
+         telemetry_overhead_regressions = {}",
+        report.telemetry_disabled_mismatches(),
+        report.jsonl_rerun_mismatches(),
+        report.telemetry_overhead_regressions(),
+    );
+    eprintln!("obs sweep in {:.1?}", t0.elapsed());
+    std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
+    eprintln!("wrote BENCH_obs.json");
+}

@@ -116,6 +116,7 @@ impl FaultsReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&crate::meta_json("faults"));
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"sequences\": {}, \"queries_per_sequence\": {}, \
              \"schedule\": \"sequential\", \"workers\": 1, \"max_parallelism\": {}, \

@@ -215,6 +215,7 @@ impl HotpathReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&crate::meta_json("hotpath"));
         out.push_str(&format!(
             "  \"config\": {{ \"iters\": {}, \"grid_resolution\": {}, \"tier\": \"{}\", \
              \"schedule\": \"fork-join\", \"workers\": {}, \"max_parallelism\": {}, {}, {} }},\n",

@@ -13,6 +13,7 @@ pub mod adaptive;
 pub mod batch;
 pub mod faults;
 pub mod hotpath;
+pub mod obs;
 pub mod scale;
 
 use scout_storage::{BatchPlan, FaultPlan};
@@ -47,6 +48,31 @@ pub fn dataset_scale() -> f64 {
 /// Reads the global seed from `SCOUT_BENCH_SEED`.
 pub fn seed() -> u64 {
     std::env::var("SCOUT_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Schema version of the shared `meta` block in every BENCH_*.json
+/// artifact. Bump when the block's fields change.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The shared `meta` block every BENCH_*.json artifact opens with
+/// (ISSUE 10): schema version, bench name, the scale/seed knobs, and the
+/// thread environment — enough to tell two artifacts' provenance apart
+/// without diffing their `config` blocks.
+pub fn meta_json(bench: &str) -> String {
+    format!(
+        "  \"meta\": {{ \"schema_version\": {}, \"bench\": \"{}\", \"scale\": {}, \
+         \"dataset_scale\": {}, \"seed\": {}, \"workers\": {}, \"threads_env\": {} }},\n",
+        BENCH_SCHEMA_VERSION,
+        bench,
+        scale(),
+        dataset_scale(),
+        seed(),
+        scout_sim::default_parallelism(),
+        match std::env::var("SCOUT_THREADS") {
+            Ok(v) => format!("{v:?}"),
+            Err(_) => "null".to_string(),
+        },
+    )
 }
 
 /// JSON fragment recording a run's fault-injection knobs. Every bench

@@ -167,6 +167,7 @@ impl ScaleReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&crate::meta_json("scale"));
         out.push_str(&format!(
             "  \"config\": {{ \"scale\": {:.2}, \"queries_per_session\": {}, \
              \"schedule\": \"work-stealing\", \"workers\": {:?}, \"max_parallelism\": {}, \

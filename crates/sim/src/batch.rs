@@ -18,8 +18,13 @@
 use crate::executor::ExecutorConfig;
 use crate::pool::lock_unpoisoned;
 use crate::session::Session;
+use crate::telemetry::FleetTelemetry;
 use scout_storage::{BatchReport, DiskModel, FaultReport, IoBatcher, ShardedCache, SharedClock};
-use std::sync::{Mutex, PoisonError};
+use scout_telemetry::{
+    recorder::ENGINE_STREAM, Event, FlightRecorder, HistogramId, Lane, MetricsRegistry, SpanTimer,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Fault-injection salt of the demand-lane batch disk. Session disks are
 /// salted by session id; the reserved top values cannot collide with a
@@ -40,6 +45,18 @@ struct WindowLedger {
     gaps: u64,
 }
 
+/// The batch engine's telemetry arm: submit events go into one shared
+/// ring (stream = [`ENGINE_STREAM`]) and submit spans into the fleet
+/// registry. `None` — the default — records nothing.
+struct BatchTelemetry {
+    registry: Arc<MetricsRegistry>,
+    recorder: Mutex<FlightRecorder>,
+    spans: bool,
+    /// Demand-lane coalesced total at the last submit; the per-batch
+    /// delta rides on each [`Event::BatchSubmitted`].
+    demand_coalesced: AtomicU64,
+}
+
 /// The batched-I/O state of one fleet run.
 pub(crate) struct BatchCtl {
     /// Demand lane: coalescing, every waiter records its slot.
@@ -47,11 +64,17 @@ pub(crate) struct BatchCtl {
     /// Window lane: single-owner, duplicates skipped at staging.
     pub(crate) window: Mutex<IoBatcher>,
     ledgers: Mutex<Vec<WindowLedger>>,
+    telem: Option<BatchTelemetry>,
 }
 
 impl BatchCtl {
     /// Batch lanes for a fleet of `sessions` sessions, charging `clock`.
-    pub(crate) fn new(config: &ExecutorConfig, clock: &SharedClock, sessions: usize) -> BatchCtl {
+    pub(crate) fn new(
+        config: &ExecutorConfig,
+        clock: &SharedClock,
+        sessions: usize,
+        telemetry: Option<&FleetTelemetry>,
+    ) -> BatchCtl {
         let lane = |salt: u64| {
             let mut disk = DiskModel::with_clock(config.disk, clock.clone());
             if let Some(faults) = config.faults.inject {
@@ -63,6 +86,15 @@ impl BatchCtl {
             demand: Mutex::new(lane(DEMAND_SALT)),
             window: Mutex::new(lane(WINDOW_SALT)),
             ledgers: Mutex::new(vec![WindowLedger::default(); sessions]),
+            telem: telemetry.map(|t| BatchTelemetry {
+                registry: Arc::clone(&t.registry),
+                recorder: Mutex::new(FlightRecorder::with_capacity(
+                    ENGINE_STREAM,
+                    t.plan.ring_capacity,
+                )),
+                spans: t.plan.spans,
+                demand_coalesced: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -73,7 +105,24 @@ impl BatchCtl {
     pub(crate) fn submit_demand(&self, round: u64) {
         let mut lane = lock_unpoisoned(&self.demand);
         if !lane.is_empty() {
+            let _span = self.telem.as_ref().and_then(|t| {
+                SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanBatchSubmitUs))
+            });
+            let pages = lane.len() as u32;
             lane.submit(1, round);
+            if let Some(t) = &self.telem {
+                let total = lane.report().coalesced;
+                let coalesced = total - t.demand_coalesced.swap(total, Ordering::Relaxed);
+                let now = lane.disk().clock().map_or(0.0, |c| c.now_us());
+                lock_unpoisoned(&t.recorder).record(
+                    now,
+                    Event::BatchSubmitted {
+                        lane: Lane::Demand,
+                        pages,
+                        coalesced: coalesced as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -89,11 +138,22 @@ impl BatchCtl {
         if lane.is_empty() {
             return;
         }
+        let _span = self.telem.as_ref().and_then(|t| {
+            SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanBatchSubmitUs))
+        });
+        let pages = lane.len() as u32;
         lane.submit(0, round);
         for slot in 0..lane.len() as u32 {
             if lane.outcome_at(slot).is_ok() {
                 cache.insert(lane.page_at(slot));
             }
+        }
+        if let Some(t) = &self.telem {
+            // The window lane skips duplicates at staging, so nothing
+            // coalesces here by construction.
+            let now = lane.disk().clock().map_or(0.0, |c| c.now_us());
+            lock_unpoisoned(&t.recorder)
+                .record(now, Event::BatchSubmitted { lane: Lane::Window, pages, coalesced: 0 });
         }
     }
 
@@ -124,9 +184,13 @@ impl BatchCtl {
     }
 
     /// Fleet teardown: credits the window ledgers into the sessions'
-    /// traces and returns the merged lane counters plus the lanes' fault
-    /// report (`None` when injection was disabled).
-    pub(crate) fn finish(self, sessions: &mut [Session]) -> (BatchReport, Option<FaultReport>) {
+    /// traces and returns the merged lane counters, the lanes' fault
+    /// report (`None` when injection was disabled), and the engine's
+    /// flight-recorder ring (`None` when telemetry was disarmed).
+    pub(crate) fn finish(
+        self,
+        sessions: &mut [Session],
+    ) -> (BatchReport, Option<FaultReport>, Option<FlightRecorder>) {
         let demand = self.demand.into_inner().unwrap_or_else(PoisonError::into_inner);
         let window = self.window.into_inner().unwrap_or_else(PoisonError::into_inner);
         let ledgers = self.ledgers.into_inner().unwrap_or_else(PoisonError::into_inner);
@@ -141,6 +205,8 @@ impl BatchCtl {
                 faults.get_or_insert_with(FaultReport::default).merge(&f);
             }
         }
-        (report, faults)
+        let recorder =
+            self.telem.map(|t| t.recorder.into_inner().unwrap_or_else(PoisonError::into_inner));
+        (report, faults, recorder)
     }
 }

@@ -20,6 +20,7 @@ use scout_storage::{
     CircuitBreaker, DiskModel, DiskProfile, FaultPlan, FaultReport, IoBatcher, IoError, IoStats,
     PageCache, PrefetchCache,
 };
+use scout_telemetry::TelemetryPlan;
 
 /// Executor configuration (one microbenchmark's environment).
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +37,12 @@ pub struct ExecutorConfig {
     /// injects nothing, keeping every path byte-identical to the
     /// infallible executor (DESIGN.md §11).
     pub faults: FaultPlan,
+    /// Flight-recorder telemetry (DESIGN.md §13). `None` (the default)
+    /// constructs nothing — no registry, no rings, no span timers — and
+    /// keeps every run byte-identical to an untelemetered one; `Some`
+    /// arms per-session event rings and the shared metrics registry in
+    /// multi-session runs.
+    pub telemetry: Option<TelemetryPlan>,
 }
 
 impl Default for ExecutorConfig {
@@ -46,6 +53,7 @@ impl Default for ExecutorConfig {
             disk: DiskProfile::default(),
             costs: CpuCostModel::default(),
             faults: FaultPlan::default(),
+            telemetry: None,
         }
     }
 }
@@ -69,6 +77,9 @@ impl ExecutorConfig {
         self.disk.validate()?;
         self.costs.validate()?;
         self.faults.validate()?;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
+        }
         Ok(())
     }
 
@@ -486,6 +497,12 @@ impl FaultCtl {
         }
         let (faults, attempts) = disk.fault_totals();
         self.breaker.observe(faults - self.mark.0, attempts - self.mark.1);
+    }
+
+    /// Circuit-breaker trips so far (the [`Event::WindowShed`] payload;
+    /// see `scout_telemetry::Event`).
+    pub(crate) fn breaker_trips(&self) -> u64 {
+        self.breaker.trips()
     }
 
     /// The complete fault report for this client, `None` when the disk

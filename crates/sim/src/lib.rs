@@ -19,6 +19,7 @@ pub mod report;
 pub mod scheduler;
 pub mod scratch;
 pub mod session;
+pub mod telemetry;
 pub mod workloads;
 
 pub use context::SimContext;
@@ -35,8 +36,9 @@ pub use pool::{default_parallelism, SharedSlice, WorkerPool};
 pub use prefetcher::{
     GraphBuildCounters, NoPrefetch, PredictionStats, PrefetchPlan, PrefetchRequest, Prefetcher,
 };
-pub use report::{percentiles, LatencyPercentiles};
+pub use report::{percentiles, percentiles_mut, LatencyPercentiles};
 pub use scheduler::{AdmissionControl, SchedulerReport, SessionScheduler};
 pub use scratch::{QueryScratch, WorkerScratch};
 pub use session::Session;
+pub use telemetry::TelemetryReport;
 pub use workloads::Microbenchmark;

@@ -30,12 +30,16 @@ use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
 use crate::pool::default_parallelism;
 use crate::prefetcher::GraphBuildCounters;
-use crate::report::{graph_cache_summary, pct, pct_or_na, percentiles, LatencyPercentiles, Table};
+use crate::report::{
+    graph_cache_summary, pct, pct_or_na, percentiles_mut, LatencyPercentiles, Table,
+};
 use crate::scheduler::{run_width1_batched, AdmissionControl, SchedulerReport, SessionScheduler};
 use crate::session::Session;
+use crate::telemetry::{FleetTelemetry, TelemetryReport};
 use scout_storage::{
     hit_ratio, BatchPlan, BatchReport, CacheStats, FaultReport, ShardedCache, SharedClock,
 };
+use scout_telemetry::{CounterId, FlightLog, FlightRecorder, GaugeId};
 use std::sync::Barrier;
 
 /// How the engine schedules its sessions.
@@ -142,7 +146,19 @@ impl MultiSessionExecutor {
         }
         let rounds = sessions.iter().map(Session::query_count).max().unwrap_or(0);
         let exec = &self.config.exec;
-        let batch = self.config.batch.enabled.then(|| BatchCtl::new(exec, &clock, sessions.len()));
+        // Arm telemetry strictly opt-in: `None` (the default) constructs
+        // nothing, keeping every path byte-identical to a disarmed run.
+        let telemetry = exec.telemetry.map(FleetTelemetry::new);
+        if let Some(tm) = &telemetry {
+            for session in &mut sessions {
+                session.arm_telemetry(tm.plan, std::sync::Arc::clone(&tm.registry));
+            }
+        }
+        let batch = self
+            .config
+            .batch
+            .enabled
+            .then(|| BatchCtl::new(exec, &clock, sessions.len(), telemetry.as_ref()));
         let mut shed: Vec<bool> = vec![false; sessions.len()];
         let mut scheduler: Option<SchedulerReport> = None;
 
@@ -213,6 +229,7 @@ impl MultiSessionExecutor {
                     width,
                     self.config.admission,
                     batch.as_ref(),
+                    telemetry.as_ref(),
                 );
                 sessions = outcome.sessions;
                 shed = outcome.shed;
@@ -227,16 +244,69 @@ impl MultiSessionExecutor {
         // in the per-session reports).
         let mut batch_report: Option<BatchReport> = None;
         let mut batch_faults: Option<FaultReport> = None;
+        let mut batch_recorder: Option<FlightRecorder> = None;
         if let Some(ctl) = batch {
-            let (report, faults) = ctl.finish(&mut sessions);
+            let (report, faults, recorder) = ctl.finish(&mut sessions);
             batch_report = Some(report);
             batch_faults = faults;
+            batch_recorder = recorder;
         }
+        // Telemetry teardown: merge every session's event ring (plus the
+        // batch engine's) into one sealed flight log, then mirror the
+        // counters whose source of truth lives in the scheduler / batch /
+        // fault reports — mirrored once here so the two views can never
+        // drift apart mid-run.
+        let telemetry_report = telemetry.map(|tm| {
+            let mut flight = FlightLog::default();
+            for (i, session) in sessions.iter_mut().enumerate() {
+                if shed.get(i).copied().unwrap_or(false) {
+                    session.note_shed();
+                }
+                if let Some(mut st) = session.take_telemetry() {
+                    flight.absorb(&mut st.recorder);
+                }
+            }
+            if let Some(mut rec) = batch_recorder {
+                flight.absorb(&mut rec);
+            }
+            flight.seal();
+            let shed_count = shed.iter().filter(|&&s| s).count();
+            let crew = match self.config.schedule {
+                Schedule::RoundRobin => 1,
+                Schedule::Threaded => sessions.len().max(1),
+                Schedule::WorkStealing { .. } => scheduler.as_ref().map_or(1, |r| r.workers),
+            };
+            tm.registry.gauge_raise(GaugeId::WorkerCrew, crew as u64);
+            tm.registry
+                .gauge_raise(GaugeId::ResidentSessions, (sessions.len() - shed_count) as u64);
+            if let Some(r) = &scheduler {
+                tm.registry.add(CounterId::SessionsStolen, r.steals);
+                tm.registry.add(CounterId::SessionsParked, r.parks);
+                tm.registry.add(CounterId::SessionsShed, r.shed);
+                tm.registry.add(CounterId::AdmissionDelays, r.delayed_rounds);
+            }
+            if let Some(b) = &batch_report {
+                tm.registry.add(CounterId::BatchesSubmitted, b.batches);
+                tm.registry.add(CounterId::BatchPagesSubmitted, b.unique_pages);
+                tm.registry.add(CounterId::PagesCoalesced, b.coalesced);
+            }
+            tm.registry.add(CounterId::EventsDropped, flight.dropped());
+            TelemetryReport { registry: tm.registry, flight }
+        });
         let mut report =
             MultiSessionReport::assemble(sessions, shed, cache.stats(), clock.now_us(), scheduler);
         report.batch = batch_report;
         if let Some(bf) = batch_faults {
             report.faults.get_or_insert_with(FaultReport::default).merge(&bf);
+        }
+        if let Some(tr) = telemetry_report {
+            // Retry/breaker totals come from the assembled fault merge
+            // (per-session disks plus batch lanes), the authoritative sum.
+            if let Some(f) = &report.faults {
+                tr.registry.add(CounterId::RetryAttempts, f.retries);
+                tr.registry.add(CounterId::BreakerTrips, f.breaker_trips);
+            }
+            report.telemetry = Some(tr);
         }
         report
     }
@@ -334,6 +404,12 @@ pub struct MultiSessionReport {
     /// disabled. Never part of [`MultiSessionReport::render`], so batched
     /// runs stay render-comparable with unbatched ones.
     pub batch: Option<BatchReport>,
+    /// The armed run's telemetry view (DESIGN.md §13): merged metrics
+    /// registry plus the sealed flight log. `None` when
+    /// `ExecutorConfig.telemetry` was `None` — the default — and never
+    /// part of [`MultiSessionReport::render`], so armed runs stay
+    /// render-comparable with disarmed ones.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl MultiSessionReport {
@@ -354,7 +430,7 @@ impl MultiSessionReport {
                 let tenant = session.tenant();
                 let (id, trace) = session.into_trace();
                 let faults = trace.faults;
-                let residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
+                let mut residuals: Vec<f64> = trace.queries.iter().map(|q| q.residual_us).collect();
                 all_residuals.extend_from_slice(&residuals);
                 match per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
                     Some((_, rs)) => rs.extend_from_slice(&residuals),
@@ -367,7 +443,7 @@ impl MultiSessionReport {
                     queries: trace.queries.len(),
                     pages_total: trace.io.result_pages_total(),
                     pages_hit: trace.io.result_pages_cache,
-                    residual: percentiles(&residuals),
+                    residual: percentiles_mut(&mut residuals),
                     response_us: trace.total_response_us(),
                     graph_cache,
                     faults,
@@ -378,7 +454,7 @@ impl MultiSessionReport {
         per_tenant.sort_by_key(|(t, _)| *t);
         let tenants = per_tenant
             .into_iter()
-            .map(|(tenant, residuals)| {
+            .map(|(tenant, mut residuals)| {
                 let mine = reports.iter().filter(|s| s.tenant == tenant);
                 TenantReport {
                     tenant,
@@ -387,7 +463,7 @@ impl MultiSessionReport {
                     queries: mine.clone().map(|s| s.queries).sum(),
                     pages_total: mine.clone().map(|s| s.pages_total).sum(),
                     pages_hit: mine.map(|s| s.pages_hit).sum(),
-                    residual: percentiles(&residuals),
+                    residual: percentiles_mut(&mut residuals),
                 }
             })
             .collect();
@@ -402,10 +478,11 @@ impl MultiSessionReport {
             tenants,
             cache,
             disk_busy_us,
-            residual: percentiles(&all_residuals),
+            residual: percentiles_mut(&mut all_residuals),
             scheduler,
             faults,
             batch: None,
+            telemetry: None,
         }
     }
 
@@ -718,6 +795,7 @@ mod tests {
             scheduler: None,
             faults: None,
             batch: None,
+            telemetry: None,
         };
         let s = report.render();
         assert!(s.contains("accesses (n/a)"), "shared-cache line: {s}");

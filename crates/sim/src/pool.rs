@@ -395,9 +395,16 @@ fn resolve_parallelism(pin: Option<&str>) -> usize {
         Some(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!(
-                    "warning: SCOUT_THREADS={v:?} is not a positive integer; \
-                     pinning serial (SCOUT_THREADS=1)"
+                // Routed through the telemetry warning hook: counted
+                // always, recorded as an event when a sink is armed, and
+                // — the disarmed default — printed to stderr with the
+                // exact bytes the historical `eprintln!` produced.
+                scout_telemetry::emit_warning(
+                    scout_telemetry::WARN_INVALID_SCOUT_THREADS,
+                    &format!(
+                        "SCOUT_THREADS={v:?} is not a positive integer; \
+                         pinning serial (SCOUT_THREADS=1)"
+                    ),
                 );
                 1
             }
@@ -508,10 +515,13 @@ mod tests {
     fn bad_thread_pins_degrade_to_serial() {
         assert_eq!(resolve_parallelism(Some("4")), 4);
         assert_eq!(resolve_parallelism(Some(" 2 ")), 2);
-        // A set-but-broken pin must mean serial, never full parallelism.
+        // A set-but-broken pin must mean serial, never full parallelism —
+        // and each botched pin must land in the telemetry warning counter.
+        let before = scout_telemetry::warning_count();
         assert_eq!(resolve_parallelism(Some("0")), 1);
         assert_eq!(resolve_parallelism(Some("")), 1);
         assert_eq!(resolve_parallelism(Some("two")), 1);
+        assert_eq!(scout_telemetry::warning_count() - before, 3);
         assert!(resolve_parallelism(None) >= 1);
     }
 

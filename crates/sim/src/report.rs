@@ -102,17 +102,46 @@ pub struct LatencyPercentiles {
 }
 
 /// Nearest-rank percentiles of `samples` (0 everywhere when empty).
+///
+/// Copies once and delegates to [`percentiles_mut`]; callers holding an
+/// owned buffer they no longer need sorted should call that directly.
 pub fn percentiles(samples: &[f64]) -> LatencyPercentiles {
+    let mut scratch = samples.to_vec();
+    percentiles_mut(&mut scratch)
+}
+
+/// Nearest-rank percentiles of `samples` (0 everywhere when empty),
+/// computed in place via three-way quickselect instead of a full sort —
+/// O(n) expected instead of O(n log n), no allocation. Reorders `samples`
+/// arbitrarily. Selects the same element a `total_cmp` sort would put at
+/// each nearest-rank index, so results are bit-identical to the
+/// historical clone-and-sort implementation (pinned by a property test).
+pub fn percentiles_mut(samples: &mut [f64]) -> LatencyPercentiles {
     if samples.is_empty() {
         return LatencyPercentiles::default();
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let at = |p: f64| {
-        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
-    };
-    LatencyPercentiles { p50: at(50.0), p95: at(95.0), p99: at(99.0) }
+    let n = samples.len();
+    let index = |p: f64| ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+    let ranks = [index(50.0), index(95.0), index(99.0)];
+    let mut out = [0.0f64; 3];
+    // Successive suffix selections: each select pivots its rank into
+    // place and hands back the (unsorted) strictly-higher-rank tail, so
+    // the later, larger ranks search an ever-narrower suffix.
+    let mut tail: &mut [f64] = samples;
+    let mut base = 0usize; // index of tail[0] within the full slice
+    let mut last = usize::MAX;
+    for (i, &k) in ranks.iter().enumerate() {
+        if k == last {
+            out[i] = out[i - 1];
+            continue;
+        }
+        let (_, v, rest) = tail.select_nth_unstable_by(k - base, f64::total_cmp);
+        out[i] = *v;
+        base = k + 1;
+        tail = rest;
+        last = k;
+    }
+    LatencyPercentiles { p50: out[0], p95: out[1], p99: out[2] }
 }
 
 /// One-line summary of cross-query graph-build counters: incremental
@@ -241,6 +270,51 @@ mod tests {
         assert!(graph_cache_summary(&none).contains("(n/a inc;"));
         let some = GraphBuildCounters { incremental: 3, full_cold: 1, ..Default::default() };
         assert!(graph_cache_summary(&some).contains("(75.0 % inc;"));
+    }
+
+    /// The historical clone-and-sort implementation, kept verbatim as the
+    /// oracle the quickselect path is pinned against.
+    fn percentiles_sort_oracle(samples: &[f64]) -> LatencyPercentiles {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencyPercentiles { p50: at(50.0), p95: at(95.0), p99: at(99.0) }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn percentiles_match_the_sort_oracle(
+            samples in proptest::collection::vec(
+                proptest::prelude::prop_oneof![
+                    -1.0e9..1.0e9f64,
+                    proptest::prelude::Just(0.0),
+                    proptest::prelude::Just(-0.0),
+                    proptest::prelude::Just(f64::INFINITY),
+                ],
+                0..200,
+            ),
+        ) {
+            let oracle = percentiles_sort_oracle(&samples);
+            // Borrowed path (copies internally) and in-place path must
+            // both select exactly the element the sort would have.
+            proptest::prop_assert_eq!(percentiles(&samples), oracle);
+            let mut scratch = samples.clone();
+            proptest::prop_assert_eq!(percentiles_mut(&mut scratch), oracle);
+            // The in-place path reorders but never rewrites the samples.
+            scratch.sort_by(f64::total_cmp);
+            let mut resorted = samples;
+            resorted.sort_by(f64::total_cmp);
+            let same = scratch.iter().zip(&resorted).all(|(a, b)| a.total_cmp(b).is_eq());
+            proptest::prop_assert!(same, "percentiles_mut must only permute");
+        }
     }
 
     #[test]

@@ -54,7 +54,9 @@ use crate::context::SimContext;
 use crate::executor::ExecutorConfig;
 use crate::pool::{lock_unpoisoned, worker_loop, Job, PoolShared};
 use crate::session::Session;
+use crate::telemetry::FleetTelemetry;
 use scout_storage::{ShardedCache, ThrashMonitor};
+use scout_telemetry::{HistogramId, SpanTimer};
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -446,6 +448,10 @@ struct FleetShared<'a, 'w> {
     /// Batched-I/O lanes; `None` runs the exact pre-batching phase
     /// bodies, byte for byte.
     batch: Option<&'a BatchCtl>,
+    /// Fleet telemetry; `None` records nothing. The scheduler itself only
+    /// uses it for the phase-flip span — steal/park events are recorded
+    /// through the sessions' own rings.
+    telem: Option<&'a FleetTelemetry>,
     control: AdmissionControl,
     width: usize,
     slots: Vec<SessionSlot>,
@@ -496,8 +502,8 @@ impl FleetShared<'_, '_> {
     fn drain_inner(&self, w: usize) {
         let mut epoch = 0u64;
         loop {
-            while let Some(idx) = self.find_work(w, epoch) {
-                self.step(w, idx, epoch);
+            while let Some((idx, stolen)) = self.find_work(w, epoch) {
+                self.step(w, idx, stolen, epoch);
             }
             match self.arrive(w, epoch) {
                 Some(next) => epoch = next,
@@ -507,13 +513,13 @@ impl FleetShared<'_, '_> {
     }
 
     /// Pops the worker's own queue (LIFO), then tries to steal (FIFO)
-    /// from siblings. Returns `None` when the phase has no more work for
-    /// this worker — every remaining item is in some other worker's
-    /// hands.
-    fn find_work(&self, w: usize, epoch: u64) -> Option<usize> {
+    /// from siblings. Returns the claimed index plus whether it was
+    /// stolen, or `None` when the phase has no more work for this worker
+    /// — every remaining item is in some other worker's hands.
+    fn find_work(&self, w: usize, epoch: u64) -> Option<(usize, bool)> {
         let parity = (epoch & 1) as usize;
         if let Some(idx) = self.deques[w][parity].pop() {
-            return Some(idx);
+            return Some((idx, false));
         }
         loop {
             if self.abort.load(Ordering::Relaxed) || self.phase_items.load(Ordering::Acquire) == 0 {
@@ -524,7 +530,7 @@ impl FleetShared<'_, '_> {
                 match self.deques[(w + off) % self.width][parity].steal() {
                     Steal::Taken(idx) => {
                         self.stats.steals.fetch_add(1, Ordering::Relaxed);
-                        return Some(idx);
+                        return Some((idx, true));
                     }
                     Steal::Retry => contended = true,
                     Steal::Empty => {}
@@ -541,7 +547,7 @@ impl FleetShared<'_, '_> {
     }
 
     /// Runs one session sub-phase and re-queues, retires or aborts.
-    fn step(&self, w: usize, idx: usize, epoch: u64) {
+    fn step(&self, w: usize, idx: usize, stolen: bool, epoch: u64) {
         if self.abort.load(Ordering::Relaxed) {
             // Aborting: drain the item without touching the session.
             self.phase_items.fetch_sub(1, Ordering::Release);
@@ -554,6 +560,11 @@ impl FleetShared<'_, '_> {
         // synchronization) guarantees this worker is the only one holding
         // index `idx`, so the exclusive borrow is unique.
         let session = unsafe { &mut *slot.cell.get() };
+        if stolen {
+            // Recorded here — not in `find_work` — because this is where
+            // the exclusive session borrow exists (no-op when disarmed).
+            session.note_stolen(w as u32);
+        }
         let serving = epoch.is_multiple_of(2);
         let outcome = catch_unwind(AssertUnwindSafe(|| match (self.batch, serving) {
             (None, true) => {
@@ -574,6 +585,11 @@ impl FleetShared<'_, '_> {
                 !session.is_done()
             }
         }));
+        if matches!(outcome, Ok(true)) {
+            // Park event before the ownership release: once `owned` drops
+            // and the index is pushed, a sibling may claim the session.
+            session.note_parked(w as u32);
+        }
         slot.owned.store(false, Ordering::Release);
         match outcome {
             Ok(true) => {
@@ -610,6 +626,12 @@ impl FleetShared<'_, '_> {
         g.arrived = 0;
         let next = epoch + 1;
         let mut items = self.next_items.swap(0, Ordering::AcqRel);
+        // The flip's critical section — batch submits plus admission, run
+        // while every sibling is parked — is one of the profiled hot
+        // phases (no-op when telemetry is disarmed or spans are off).
+        let _flip_span = self.telem.and_then(|t| {
+            SpanTimer::start_if(t.plan.spans, t.registry.histogram(HistogramId::SpanPhaseFlipUs))
+        });
         if self.abort.load(Ordering::Relaxed) {
             g.done = true;
         } else {
@@ -639,6 +661,7 @@ impl FleetShared<'_, '_> {
                 self.phase_items.store(items, Ordering::Release);
             }
         }
+        drop(_flip_span);
         g.epoch = next;
         let done = g.done;
         self.gate_cv.notify_all();
@@ -776,6 +799,7 @@ impl SessionScheduler {
         workers: usize,
         control: AdmissionControl,
         batch: Option<&BatchCtl>,
+        telemetry: Option<&FleetTelemetry>,
     ) -> FleetOutcome {
         control.assert_valid();
         if sessions.is_empty() {
@@ -809,6 +833,7 @@ impl SessionScheduler {
             exec,
             cache,
             batch,
+            telem: telemetry,
             control,
             width,
             slots: sessions.into_iter().map(SessionSlot::new).collect(),

@@ -24,12 +24,14 @@ use crate::executor::{
 use crate::pool::lock_unpoisoned;
 use crate::prefetcher::Prefetcher;
 use crate::scratch::QueryScratch;
+use crate::telemetry::SessionTelemetry;
 use scout_geometry::QueryRegion;
 use scout_index::QueryResult;
 use scout_storage::{
     DiskModel, FailedRead, FaultReport, IoBatcher, PageCache, PageId, SharedClock,
 };
-use std::sync::Mutex;
+use scout_telemetry::{HistogramId, MetricsRegistry, SpanTimer, TelemetryPlan};
+use std::sync::{Arc, Mutex};
 
 /// One client: a prefetcher, a query stream, a disk handle and a trace.
 pub struct Session {
@@ -58,6 +60,10 @@ pub struct Session {
     staged_slots: Vec<u32>,
     /// Batched mode only: fan-in buffer for the slots' outcomes.
     fetched: Vec<(PageId, Result<f64, FailedRead>)>,
+    /// Flight-recorder arm (DESIGN.md §13); `None` (the default) records
+    /// nothing and keeps every path byte-identical to an untelemetered
+    /// session.
+    telem: Option<SessionTelemetry>,
 }
 
 /// A query served *into the batcher* but not yet completed: its partial
@@ -90,6 +96,7 @@ impl Session {
             pending: None,
             staged_slots: Vec::new(),
             fetched: Vec::new(),
+            telem: None,
         }
     }
 
@@ -149,6 +156,52 @@ impl Session {
         self.next = 0;
         self.open = None;
         self.pending = None;
+        // Telemetry is armed per run (after `begin`), so a reused session
+        // never records into a previous run's registry.
+        self.telem = None;
+    }
+
+    /// Arms flight-recorder telemetry for this run: events go into a
+    /// private ring (stream = session id), counters and histograms into
+    /// the fleet's shared `registry`. Called by the multi-session engine
+    /// after [`Session::begin`]; disarmed sessions record nothing.
+    pub(crate) fn arm_telemetry(&mut self, plan: TelemetryPlan, registry: Arc<MetricsRegistry>) {
+        self.telem = Some(SessionTelemetry::new(plan, registry, self.id as u32));
+    }
+
+    /// Detaches the telemetry arm (fleet teardown collects the ring).
+    pub(crate) fn take_telemetry(&mut self) -> Option<SessionTelemetry> {
+        self.telem.take()
+    }
+
+    /// The simulated now for event timestamps: the shared clock when one
+    /// is attached (every multi-session run), 0 otherwise.
+    fn now_us(&self) -> f64 {
+        self.disk.clock().map_or(0.0, |c| c.now_us())
+    }
+
+    /// Scheduler hook: the session was stolen onto `worker`'s queue.
+    pub(crate) fn note_stolen(&mut self, worker: u32) {
+        let t = self.now_us();
+        if let Some(tm) = &mut self.telem {
+            tm.note_stolen(t, worker);
+        }
+    }
+
+    /// Scheduler hook: the session parked at a phase boundary on `worker`.
+    pub(crate) fn note_parked(&mut self, worker: u32) {
+        let t = self.now_us();
+        if let Some(tm) = &mut self.telem {
+            tm.note_parked(t, worker);
+        }
+    }
+
+    /// Teardown hook: admission control shed this session.
+    pub(crate) fn note_shed(&mut self) {
+        let t = self.now_us();
+        if let Some(tm) = &mut self.telem {
+            tm.note_shed(t);
+        }
     }
 
     /// Serves the next query and lets the prefetcher digest it (timeline
@@ -166,17 +219,31 @@ impl Session {
             return false;
         };
         self.faultctl.begin_query(&mut self.disk, self.next as u64);
-        let window = serve_and_observe(
-            ctx,
-            self.prefetcher.as_mut(),
-            region,
-            cache,
-            &mut self.disk,
-            config,
-            &mut self.trace.io,
-            &mut self.scratch,
-        );
+        let window = {
+            let _span = self.telem.as_ref().and_then(|t| {
+                SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanServeUs))
+            });
+            serve_and_observe(
+                ctx,
+                self.prefetcher.as_mut(),
+                region,
+                cache,
+                &mut self.disk,
+                config,
+                &mut self.trace.io,
+                &mut self.scratch,
+            )
+        };
         self.faultctl.note_served(&window.q);
+        if self.telem.is_some() {
+            let t = self.now_us();
+            let faults = self.disk.fault_report();
+            if let Some(tm) = &mut self.telem {
+                tm.note_query_served(t, self.next as u32, &window.q);
+                tm.note_retries(t, faults);
+                tm.note_window_opened(t, window.budget_us);
+            }
+        }
         self.open = Some(window);
         true
     }
@@ -192,7 +259,11 @@ impl Session {
         let Some(window) = self.open.take() else {
             return;
         };
-        let q = if self.faultctl.allow_window(&self.disk, &window.q) {
+        let allowed = self.faultctl.allow_window(&self.disk, &window.q);
+        let q = if allowed {
+            let _span = self.telem.as_ref().and_then(|t| {
+                SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanWindowUs))
+            });
             run_prefetch_window(
                 ctx,
                 self.prefetcher.as_mut(),
@@ -207,6 +278,17 @@ impl Session {
             window.q
         };
         self.faultctl.end_query(&self.disk);
+        if self.telem.is_some() {
+            let t = self.now_us();
+            let trips = self.faultctl.breaker_trips();
+            if let Some(tm) = &mut self.telem {
+                if allowed {
+                    tm.note_window_closed(t, q.prefetch_pages, q.gap_pages);
+                } else {
+                    tm.note_window_shed(t, trips);
+                }
+            }
+        }
         self.trace.queries.push(q);
         self.next += 1;
     }
@@ -230,6 +312,9 @@ impl Session {
         let Some(region) = self.regions.get(self.next) else {
             return false;
         };
+        let _span = self.telem.as_ref().and_then(|t| {
+            SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanServeUs))
+        });
         self.faultctl.begin_query(&mut self.disk, self.next as u64);
         let mut q = QueryTrace::default();
         let result = ctx.index.range_query(ctx.objects, region);
@@ -323,6 +408,15 @@ impl Session {
             )
         };
         self.faultctl.note_served(&window.q);
+        if self.telem.is_some() {
+            let t = self.now_us();
+            let faults = self.disk.fault_report();
+            if let Some(tm) = &mut self.telem {
+                tm.note_query_served(t, self.next as u32, &window.q);
+                tm.note_retries(t, faults);
+                tm.note_window_opened(t, window.budget_us);
+            }
+        }
         self.open = Some(window);
     }
 
@@ -340,7 +434,11 @@ impl Session {
         let Some(window) = self.open.take() else {
             return;
         };
-        let q = if self.faultctl.allow_window(&self.disk, &window.q) {
+        let allowed = self.faultctl.allow_window(&self.disk, &window.q);
+        let q = if allowed {
+            let _span = self.telem.as_ref().and_then(|t| {
+                SpanTimer::start_if(t.spans, t.registry.histogram(HistogramId::SpanWindowUs))
+            });
             let mut batch = lock_unpoisoned(window_lane);
             stage_prefetch_window(
                 ctx,
@@ -357,6 +455,17 @@ impl Session {
             window.q
         };
         self.faultctl.end_query(&self.disk);
+        if self.telem.is_some() {
+            let t = self.now_us();
+            let trips = self.faultctl.breaker_trips();
+            if let Some(tm) = &mut self.telem {
+                if allowed {
+                    tm.note_window_closed(t, q.prefetch_pages, q.gap_pages);
+                } else {
+                    tm.note_window_shed(t, trips);
+                }
+            }
+        }
         self.trace.queries.push(q);
         self.next += 1;
     }

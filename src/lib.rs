@@ -47,6 +47,7 @@
 //! | [`scout_predict`] | Markov history prefetcher, SCOUT hybrid, feedback control |
 //! | [`scout_baselines`] | EWMA, straight line, polynomial, velocity, Hilbert, layered, Markov |
 //! | [`scout_sim`] | prefetcher trait, Figure-2 executor, workloads, experiments |
+//! | [`scout_telemetry`] | mergeable metrics registry, flight recorder, span timers |
 
 pub use scout_baselines as baselines;
 pub use scout_core as core;
@@ -56,6 +57,7 @@ pub use scout_predict as predict;
 pub use scout_sim as sim;
 pub use scout_storage as storage;
 pub use scout_synth as synth;
+pub use scout_telemetry as telemetry;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -72,7 +74,7 @@ pub mod prelude {
         AdmissionControl, ExecutorConfig, LatencyPercentiles, MultiSessionConfig,
         MultiSessionExecutor, MultiSessionReport, NoPrefetch, Prefetcher, Schedule,
         SchedulerReport, ServeOutcome, Session, SessionReport, SessionScheduler, SimContext,
-        TenantReport, TestBed,
+        TelemetryReport, TenantReport, TestBed,
     };
     pub use scout_storage::{
         BatchPlan, BatchReport, BreakerPolicy, CacheStats, DiskProfile, FaultConfig, FaultPlan,
@@ -83,4 +85,5 @@ pub mod prelude {
         generate_sequences, ArterialParams, Dataset, Domain, LungParams, NeuronParams, RoadParams,
         SequenceParams,
     };
+    pub use scout_telemetry::{CounterId, GaugeId, HistogramId, TelemetryPlan};
 }

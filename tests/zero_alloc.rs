@@ -357,4 +357,40 @@ fn steady_state_graph_build_allocates_nothing() {
     assert_eq!(report.batches, 4);
     assert_eq!(report.unique_pages, 4 * 128);
     assert_eq!(report.coalesced, 4 * 96);
+
+    // --- Telemetry recording steady state (ISSUE 10) -----------------------
+    //
+    // The armed hot path — counter bumps, histogram records, gauge raises
+    // and flight-recorder event records — must allocate nothing in steady
+    // state: counters/gauges/histograms are fixed-size atomics by
+    // construction, and the event ring pre-allocates its capacity and
+    // overwrites in place once it has wrapped.
+    use scout::telemetry::{
+        CounterId, Event, FlightRecorder, GaugeId, HistogramId, MetricsRegistry,
+    };
+    let registry = MetricsRegistry::new();
+    let mut ring = FlightRecorder::with_capacity(7, 64);
+    // Warmup: wrap the ring once, so every later record is an overwrite.
+    for i in 0..96u32 {
+        ring.record(i as f64, Event::QueryServed { query: i, pages: 3, hits: 1, failed: false });
+    }
+    let before = allocations();
+    for i in 0..1_000u64 {
+        registry.incr(CounterId::QueriesServed);
+        registry.add(CounterId::PagesRequested, 7);
+        registry.gauge_raise(GaugeId::ResidentSessions, i);
+        registry.record(HistogramId::ResidualUs, (i * 37) as f64);
+        ring.record(i as f64, Event::WindowOpened { budget_us: i as f64 });
+        ring.record(i as f64, Event::SessionParked { worker: (i % 4) as u32 });
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry recording allocated {} times in steady state",
+        after - before
+    );
+    assert_eq!(registry.counter(CounterId::QueriesServed), 1_000);
+    assert_eq!(registry.counter(CounterId::PagesRequested), 7_000);
+    assert!(ring.dropped() > 0, "the ring must have wrapped during the tour");
 }
